@@ -1,0 +1,86 @@
+"""Ablation: fault tolerance (paper Section V, future work).
+
+"Unlike for the fork-join approach where a failure of the master process
+would be catastrophic, ExaML offers maximum state redundancy.  When one or
+more cores fail, the data will merely have to be re-distributed to the
+remaining processes."
+
+We measure exactly that: recovery traffic/time after killing ranks under
+the decentralized scheme, versus the unrecoverable fork-join outcomes.
+"""
+
+import pytest
+
+from repro.bench import record_partitioned
+from repro.engines.fault import (
+    forkjoin_failure_outcome,
+    recovery_time,
+    redistribute_after_failure,
+)
+from repro.par.machine import HITS_CLUSTER
+
+RANKS = 192
+
+
+@pytest.mark.paper
+def test_decentralized_recovery(benchmark, show):
+    run = record_partitioned(500, "gamma")
+    dist = run.distribution(RANKS, use_mps=True)
+
+    def recover():
+        report = redistribute_after_failure(dist, failed_ranks=[7, 48, 99])
+        return report, recovery_time(report, HITS_CLUSTER)
+
+    report, seconds = benchmark(recover)
+    show(
+        "Ablation — decentralized recovery after 3 rank failures",
+        f"survivors            : {report.survivors}\n"
+        f"data re-homed        : {report.bytes_moved / 1e6:.2f} MB\n"
+        f"recovery time        : {seconds * 1e3:.2f} ms\n"
+        f"reason               : {report.reason}",
+    )
+
+    assert report.recoverable
+    assert report.survivors == RANKS - 3
+    assert report.bytes_moved > 0
+    assert seconds < 60.0  # recovery is cheap relative to any search
+
+    # the new distribution conserves all data and stays balanced
+    new = report.new_distribution
+    assert new.owned.sum() == pytest.approx(dist.owned.sum())
+    assert new.balance() > 0.8
+
+    # only orphaned partitions moved (survivors keep their assignments)
+    import numpy as np
+
+    survivors = [r for r in range(RANKS) if r not in (7, 48, 99)]
+    kept = dist.owned[survivors]
+    assert np.all(new.owned >= kept - 1e-9)
+
+
+@pytest.mark.paper
+def test_recovery_scales_with_failure_count(benchmark):
+    run = record_partitioned(500, "gamma")
+    dist = run.distribution(RANKS, use_mps=True)
+
+    def sweep():
+        return [
+            redistribute_after_failure(dist, list(range(k))).bytes_moved
+            for k in (1, 4, 16, 64)
+        ]
+
+    moved = benchmark(sweep)
+    assert moved == sorted(moved)  # more failures, more traffic
+    # traffic is proportional to lost data, never the whole dataset
+    total = dist.owned.sum() * 8.0
+    assert moved[-1] < total
+
+
+@pytest.mark.paper
+def test_forkjoin_failures_are_fatal():
+    master = forkjoin_failure_outcome([0])
+    worker = forkjoin_failure_outcome([17])
+    assert not master.recoverable
+    assert not worker.recoverable
+    assert "master" in master.reason
+    assert "checkpoint" in worker.reason

@@ -1,0 +1,87 @@
+"""Ablation: monolithic per-partition (MPS, ``-Q``) vs cyclic per-site
+data distribution.
+
+The paper (Section II, citing Zhang & Stamatakis 2011) reports up to an
+order of magnitude from assigning partitions monolithically when they
+substantially outnumber the processors.  The mechanisms the model
+captures:
+
+* cyclic slices every partition into per-rank slivers, so *every* rank
+  touches *every* partition in *every* region — per-partition vector
+  lengths collapse and per-region bookkeeping multiplies;
+* MPS keeps long contiguous kernels (few partitions per rank) at the cost
+  of LPT-imbalance, which stays small for p >> ranks.
+
+We quantify the locality effect (partition touches per rank) and verify
+the LPT schedule's balance and the crossover behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import record_partitioned
+from repro.dist.distributions import cyclic_distribution, mps_distribution
+from repro.dist.mps import lpt_schedule, schedule_makespan
+
+RANKS = 192
+
+
+@pytest.mark.paper
+def test_mps_vs_cyclic(benchmark, show):
+    run = record_partitioned(1000, "gamma")
+    cp = run.meta.cost_patterns
+
+    def build():
+        return cyclic_distribution(cp, RANKS), mps_distribution(cp, RANKS)
+
+    cyclic, mps = benchmark(build)
+
+    touches_cyclic = int((cyclic.owned > 0).sum(axis=1).max())
+    touches_mps = int((mps.owned > 0).sum(axis=1).max())
+    body = (
+        f"{'distribution':<12}{'partitions/rank':>17}{'balance':>9}\n"
+        f"{'cyclic':<12}{touches_cyclic:>17}{cyclic.balance():>9.3f}\n"
+        f"{'MPS (-Q)':<12}{touches_mps:>17}{mps.balance():>9.3f}"
+    )
+    show("Ablation — data distribution at 1000 partitions / 192 ranks", body)
+
+    # order-of-magnitude locality win, the paper's headline claim
+    assert touches_cyclic >= 10 * touches_mps
+    # both conserve the data and stay balanced
+    assert cyclic.owned.sum() == pytest.approx(mps.owned.sum())
+    assert mps.balance() > 0.85
+    assert cyclic.balance() > 0.85  # integer-granularity remainder
+
+
+@pytest.mark.paper
+def test_lpt_quality_across_scales(benchmark):
+    """LPT stays within a few percent of the per-rank average for every
+    paper configuration where MPS applies."""
+    rng = np.random.default_rng(42)
+
+    def measure():
+        out = {}
+        for p in (500, 1000):
+            loads = rng.uniform(700, 1300, p)
+            assign = lpt_schedule(loads, RANKS)
+            makespan = schedule_makespan(loads, assign, RANKS)
+            out[p] = makespan / (loads.sum() / RANKS)
+        return out
+
+    quality = benchmark(measure)
+    for p, q in quality.items():
+        assert q < 1.25, (p, q)
+
+
+@pytest.mark.paper
+def test_mps_refuses_fewer_partitions_than_ranks():
+    """Below the crossover the tool must fall back to cyclic — matching
+    the paper's use of -Q only for the ≥500-partition runs."""
+    from repro.dist.distributions import auto_distribution
+    from repro.errors import DistributionError
+
+    run = record_partitioned(10, "gamma")
+    cp = run.meta.cost_patterns
+    assert auto_distribution(cp, RANKS).kind == "cyclic"
+    with pytest.raises(DistributionError):
+        mps_distribution(cp, RANKS)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Bootstrap support for an inferred tree.
+
+Simulates a dataset with one deliberately short (hard) internal branch,
+infers the ML tree from a parsimony starting tree, and bootstraps it —
+showing that support is high everywhere except across the short branch.
+
+Run:  python examples/bootstrap_analysis.py
+"""
+
+import numpy as np
+
+from repro.likelihood.backend import SequentialBackend
+from repro.likelihood.partitioned import PartitionedLikelihood
+from repro.model.substitution import GTR
+from repro.search.bootstrap import bootstrap_support
+from repro.search.search import SearchConfig, hill_climb
+from repro.seq.simulate import simulate_alignment
+from repro.tree.parsimony import parsimony_tree
+from repro.tree.newick import write_newick
+from repro.tree.random_trees import yule_tree
+
+
+def main() -> None:
+    taxa = [f"sp{i:02d}" for i in range(10)]
+    truth = yule_tree(taxa, rng=11, mean_branch_length=0.15)
+    # plant one very short internal branch: a genuinely uncertain split
+    inner = [
+        (u, v) for u, v in truth.edges() if not u.is_leaf and not v.is_leaf
+    ]
+    truth.set_edge_length(*inner[0], 0.004)
+
+    model = GTR([1.3, 3.4, 0.8, 1.2, 3.9, 1.0], [0.27, 0.23, 0.24, 0.26])
+    aln = simulate_alignment(truth, model, 1200, rng=12, gamma_alpha=0.8)
+
+    start = parsimony_tree(aln.compress(), rng=13)
+    lik = PartitionedLikelihood.build(aln, start, rate_mode="gamma")
+    result = hill_climb(
+        SequentialBackend(lik), SearchConfig(max_iterations=5, radius_max=4)
+    )
+    print(f"ML tree (logL {result.logl:.2f}):")
+    print(" ", write_newick(start, digits=4))
+
+    print("\nbootstrapping (12 replicates) ...")
+    boot = bootstrap_support(
+        lik, start, n_replicates=12,
+        config=SearchConfig(max_iterations=2, radius_max=2, model_opt=False),
+        rng=14,
+    )
+    print(boot.format())
+    weak = min(boot.support.values())
+    print(f"\nweakest split support: {weak * 100:.0f}% "
+          "(expected low: the planted 0.004-substitution branch)")
+
+
+if __name__ == "__main__":
+    main()

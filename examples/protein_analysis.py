@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Amino-acid analysis: the substrate is state-count generic.
+
+Simulates a protein alignment under the 20-state Poisson model, infers a
+tree under Poisson+Γ, and demonstrates loading a user-supplied empirical
+matrix in PAML ``.dat`` format (here: a synthetic one written to a temp
+file — drop in the published LG/WAG/JTT files the same way).
+
+Run:  python examples/protein_analysis.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.likelihood.backend import SequentialBackend
+from repro.likelihood.partitioned import PartitionedLikelihood
+from repro.model.protein import POISSON, read_paml_dat
+from repro.search.search import SearchConfig, hill_climb
+from repro.seq.alphabet import AMINO_ACIDS
+from repro.seq.simulate import simulate_alignment
+from repro.tree.distances import rf_distance
+from repro.tree.random_trees import random_topology, yule_tree
+
+
+def write_synthetic_paml(path: Path, seed: int = 7) -> None:
+    """A stand-in empirical matrix in the exact PAML .dat layout."""
+    rng = np.random.default_rng(seed)
+    lower = rng.uniform(0.1, 5.0, 190)
+    freqs = rng.dirichlet(np.full(20, 12.0))
+    lines, k = [], 0
+    for i in range(1, 20):
+        lines.append(" ".join(f"{lower[k + j]:.5f}" for j in range(i)))
+        k += i
+    lines.append(" ".join(f"{f:.7f}" for f in freqs))
+    path.write_text("\n".join(lines) + "\n")
+
+
+def main() -> None:
+    taxa = [f"prot{i:02d}" for i in range(8)]
+    truth = yule_tree(taxa, rng=31, mean_branch_length=0.25)
+    aln = simulate_alignment(truth, POISSON(), 400, rng=32,
+                             gamma_alpha=0.9, alphabet=AMINO_ACIDS)
+    print(f"simulated protein alignment: {aln.n_taxa} x {aln.n_sites} "
+          f"({aln.compress().n_patterns} patterns)")
+    print("first residues:", aln.sequence(taxa[0])[:40], "...")
+
+    start = random_topology(taxa, rng=33)
+    lik = PartitionedLikelihood.build(
+        aln, start, rate_mode="gamma", models=[POISSON()]
+    )
+    result = hill_climb(
+        SequentialBackend(lik),
+        SearchConfig(max_iterations=4, radius_max=3, optimize_gtr=False),
+    )
+    print(f"Poisson+Γ logL: {result.logl:.2f}, "
+          f"alpha = {lik.get_alpha(0):.2f} (true 0.9), "
+          f"RF to truth = {rf_distance(start, truth)}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        dat = Path(tmp) / "custom.dat"
+        write_synthetic_paml(dat)
+        model = read_paml_dat(dat)
+        lik2 = PartitionedLikelihood.build(
+            aln, start.copy(), rate_mode="gamma", models=[model]
+        )
+        be2 = SequentialBackend(lik2)
+        logl, _ = be2.evaluate(*be2.tree.edges()[0])
+        print(f"same tree under the loaded empirical matrix: logL {logl:.2f} "
+              "(worse, as expected — the data evolved under Poisson)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: infer a maximum-likelihood tree on a small alignment.
+
+Simulates a 12-taxon DNA alignment, runs the full RAxML-style search
+(branch-length + model optimization + lazy SPR) sequentially, and prints
+the recovered tree.  This exercises the complete core API in under a
+minute.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.likelihood.backend import SequentialBackend
+from repro.likelihood.partitioned import PartitionedLikelihood
+from repro.model.substitution import GTR
+from repro.search.search import SearchConfig, hill_climb
+from repro.seq.simulate import simulate_alignment
+from repro.tree.distances import rf_distance
+from repro.tree.newick import write_newick
+from repro.tree.random_trees import random_topology, yule_tree
+
+
+def main() -> None:
+    # 1. make a dataset with a known true tree
+    taxa = [f"species_{i:02d}" for i in range(12)]
+    true_tree = yule_tree(taxa, rng=42, mean_branch_length=0.12)
+    model = GTR([1.4, 3.5, 0.9, 1.1, 4.2, 1.0], [0.29, 0.21, 0.23, 0.27])
+    alignment = simulate_alignment(true_tree, model, n_sites=1500, rng=7,
+                                   gamma_alpha=0.6)
+    print(f"simulated {alignment.n_taxa} taxa x {alignment.n_sites} sites "
+          f"({alignment.compress().n_patterns} unique patterns)")
+
+    # 2. build the likelihood over a random starting tree (GTR + Γ)
+    start = random_topology(taxa, rng=3)
+    lik = PartitionedLikelihood.build(alignment, start, rate_mode="gamma")
+    backend = SequentialBackend(lik)
+
+    # 3. search
+    result = hill_climb(
+        backend,
+        SearchConfig(max_iterations=8, radius_max=4, optimize_gtr=True),
+    )
+
+    print(f"final log likelihood : {result.logl:.2f}")
+    print(f"search iterations    : {result.iterations} "
+          f"({result.moves_accepted} SPR moves accepted, "
+          f"{result.insertions_tried} insertions tried)")
+    print(f"estimated alpha      : {lik.get_alpha(0):.3f}  (true 0.6)")
+    rates = lik.parts[0].model.normalized_rates()
+    print("estimated GTR rates  :", np.round(rates, 2), " (true [1.4 3.5 0.9 1.1 4.2 1.0])")
+    print(f"RF distance to truth : {rf_distance(start, true_tree)}")
+    print("inferred tree        :", write_newick(start, digits=4))
+
+
+if __name__ == "__main__":
+    main()

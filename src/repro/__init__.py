@@ -1,0 +1,71 @@
+"""repro — reproduction of "Novel Parallelization Schemes for Large-Scale
+Likelihood-based Phylogenetic Inference" (Stamatakis & Aberer, IPPS 2013).
+
+The package implements, from scratch:
+
+* a full phylogenetic-likelihood substrate (alignments, trees, GTR-family
+  substitution models, Γ and PSR rate heterogeneity, Felsenstein pruning,
+  analytic branch-length derivatives, RAxML-style SPR tree search);
+* a virtual-MPI layer with a real ``multiprocessing`` backend and a
+  lock-step simulation backend with exact communication accounting;
+* the paper's two parallelization schemes — the classical fork-join engine
+  (RAxML-Light) and the de-centralized engine (ExaML) — both driving the
+  identical search algorithm;
+* a calibrated performance model of the paper's cluster that regenerates
+  every figure and table of the evaluation section.
+
+Quickstart::
+
+    from repro import Alignment, parse_newick, PartitionedLikelihood
+
+See ``examples/quickstart.py`` for an end-to-end run.
+"""
+
+from repro.errors import (
+    ReproError,
+    AlignmentError,
+    NewickError,
+    ModelError,
+    TreeError,
+    CommError,
+    SearchError,
+    DistributionError,
+)
+from repro.seq.alphabet import DNA, Alphabet
+from repro.seq.alignment import Alignment, PatternAlignment
+from repro.seq.partitions import Partition, PartitionScheme
+from repro.tree.topology import Node, Tree
+from repro.tree.newick import parse_newick, write_newick
+from repro.model.substitution import SubstitutionModel, GTR, JC69, HKY85
+from repro.model.rates import DiscreteGamma, PerSiteRates
+from repro.likelihood.partitioned import PartitionedLikelihood
+
+__all__ = [
+    "ReproError",
+    "AlignmentError",
+    "NewickError",
+    "ModelError",
+    "TreeError",
+    "CommError",
+    "SearchError",
+    "DistributionError",
+    "DNA",
+    "Alphabet",
+    "Alignment",
+    "PatternAlignment",
+    "Partition",
+    "PartitionScheme",
+    "Node",
+    "Tree",
+    "parse_newick",
+    "write_newick",
+    "SubstitutionModel",
+    "GTR",
+    "JC69",
+    "HKY85",
+    "DiscreteGamma",
+    "PerSiteRates",
+    "PartitionedLikelihood",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the RAxML-Light/ExaML workflow the paper describes:
+
+* ``infer``    — maximum-likelihood tree search on a FASTA/PHYLIP/binary
+  alignment, optionally partitioned, under Γ or PSR, with checkpointing
+  (``-M`` selects per-partition branch lengths, ``-Q`` monolithic data
+  distribution for the simulated-performance report);
+* ``simulate`` — generate a benchmark alignment along a random tree;
+* ``convert``  — convert alignments between FASTA/PHYLIP/binary formats;
+* ``report``   — run an instrumented search and print the Table-I style
+  communication breakdown plus simulated runtimes for both engines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_alignment(path: str):
+    from repro.seq.binary import read_binary_alignment
+    from repro.seq.io_fasta import read_fasta
+    from repro.seq.io_phylip import read_phylip
+
+    p = Path(path)
+    suffix = p.suffix.lower()
+    if suffix in (".fasta", ".fa", ".fna"):
+        return read_fasta(p)
+    if suffix in (".phy", ".phylip"):
+        return read_phylip(p)
+    if suffix in (".rba", ".bin"):
+        return read_binary_alignment(p)
+    # sniff
+    head = p.read_bytes()[:4]
+    if head == b"RBA1":
+        return read_binary_alignment(p)
+    if head[:1] == b">":
+        return read_fasta(p)
+    return read_phylip(p)
+
+
+def _write_alignment(alignment, path: str) -> None:
+    from repro.seq.binary import write_binary_alignment
+    from repro.seq.io_fasta import write_fasta
+    from repro.seq.io_phylip import write_phylip
+
+    p = Path(path)
+    suffix = p.suffix.lower()
+    if suffix in (".fasta", ".fa", ".fna"):
+        write_fasta(alignment, p)
+    elif suffix in (".phy", ".phylip"):
+        write_phylip(alignment, p)
+    elif suffix in (".rba", ".bin"):
+        write_binary_alignment(alignment, p)
+    else:
+        raise SystemExit(f"cannot infer output format from {path!r}")
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    from repro.likelihood.backend import SequentialBackend
+    from repro.likelihood.partitioned import PartitionedLikelihood
+    from repro.search.checkpoint import load_checkpoint, restore_into, save_checkpoint
+    from repro.search.search import SearchConfig, hill_climb
+    from repro.seq.partitions import read_partition_file
+    from repro.tree.newick import parse_newick, write_newick
+    from repro.tree.random_trees import random_topology
+
+    alignment = _load_alignment(args.alignment)
+    scheme = read_partition_file(args.partitions) if args.partitions else None
+    if args.starting_tree:
+        tree = parse_newick(Path(args.starting_tree).read_text())
+    else:
+        tree = random_topology(alignment.taxa, rng=args.seed)
+    lik = PartitionedLikelihood.build(
+        alignment,
+        tree,
+        scheme=scheme,
+        rate_mode=args.model,
+        per_partition_branches=args.per_partition_branches,
+    )
+    backend = SequentialBackend(lik)
+    if args.resume:
+        meta, arrays = load_checkpoint(args.resume)
+        restore_into(lik, meta, arrays)
+        backend.tree = lik.tree
+        tree = lik.tree
+        print(f"resumed from {args.resume} (iteration {meta['iteration']})",
+              file=sys.stderr)
+    config = SearchConfig(
+        max_iterations=args.iterations,
+        radius_max=args.radius,
+        optimize_gtr=not args.no_gtr,
+        epsilon=args.epsilon,
+    )
+    result = hill_climb(backend, config)
+    newick = write_newick(tree)
+    if args.output:
+        Path(args.output).write_text(newick + "\n")
+    else:
+        print(newick)
+    print(f"logL = {result.logl:.4f} after {result.iterations} iterations "
+          f"({'converged' if result.converged else 'iteration cap'})",
+          file=sys.stderr)
+    if args.checkpoint:
+        save_checkpoint(args.checkpoint, lik, result.iterations,
+                        config.radius_max, result.logl)
+        print(f"checkpoint written to {args.checkpoint}", file=sys.stderr)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.model.substitution import GTR
+    from repro.seq.simulate import simulate_alignment
+    from repro.tree.newick import write_newick
+    from repro.tree.random_trees import yule_tree
+
+    rng = np.random.default_rng(args.seed)
+    taxa = [f"t{i:04d}" for i in range(args.taxa)]
+    tree = yule_tree(taxa, rng=rng, mean_branch_length=args.branch_length)
+    model = GTR(
+        np.append(rng.uniform(0.5, 4.0, 5), 1.0), rng.dirichlet(np.full(4, 20.0))
+    )
+    alignment = simulate_alignment(
+        tree, model, args.sites, rng=rng,
+        gamma_alpha=args.alpha if args.alpha > 0 else None,
+    )
+    _write_alignment(alignment, args.output)
+    if args.tree_out:
+        Path(args.tree_out).write_text(write_newick(tree) + "\n")
+    print(f"wrote {args.taxa} x {args.sites} alignment to {args.output}",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    alignment = _load_alignment(args.input)
+    _write_alignment(alignment, args.output)
+    print(f"{args.input} -> {args.output} "
+          f"({alignment.n_taxa} taxa x {alignment.n_sites} sites)",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.engines.recording import RecordingBackend
+    from repro.bench import EXAML, RAXML_LIGHT
+    from repro.likelihood.partitioned import PartitionedLikelihood
+    from repro.perf.costmodel import WorkloadMeta
+    from repro.perf.report import table1_rows
+    from repro.perf.runtime_sim import simulate_runtime
+    from repro.dist.distributions import auto_distribution
+    from repro.par.machine import HITS_CLUSTER
+    from repro.search.search import SearchConfig, hill_climb
+    from repro.seq.partitions import read_partition_file
+    from repro.tree.random_trees import random_topology
+
+    alignment = _load_alignment(args.alignment)
+    scheme = read_partition_file(args.partitions) if args.partitions else None
+    tree = random_topology(alignment.taxa, rng=args.seed)
+    lik = PartitionedLikelihood.build(
+        alignment, tree, scheme=scheme, rate_mode=args.model,
+        per_partition_branches=args.per_partition_branches,
+    )
+    backend = RecordingBackend(lik)
+    hill_climb(backend, SearchConfig(max_iterations=args.iterations,
+                                     radius_max=args.radius))
+
+    print("fork-join communication breakdown (Table I):")
+    for key, val in table1_rows(backend.log).items():
+        print(f"  {key:<42}{val:>14.2f}")
+
+    meta = WorkloadMeta.from_likelihood(lik)
+    print(f"\nsimulated runtimes on {HITS_CLUSTER.name}:")
+    print(f"{'ranks':>7}{'ExaML [s]':>12}{'RAxML-Light [s]':>17}{'speedup':>9}")
+    for ranks in args.ranks:
+        dist = auto_distribution(meta.cost_patterns, ranks,
+                                 use_mps=args.mps or None)
+        ex = simulate_runtime(backend.log, EXAML, meta, HITS_CLUSTER, dist)
+        li = simulate_runtime(backend.log, RAXML_LIGHT, meta, HITS_CLUSTER, dist)
+        print(f"{ranks:>7}{ex.total_s:>12.3f}{li.total_s:>17.3f}"
+              f"{li.total_s / ex.total_s:>9.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ExaML-paper reproduction: likelihood-based "
+                    "phylogenetic inference with two parallelization schemes",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    infer = sub.add_parser("infer", help="maximum-likelihood tree search")
+    infer.add_argument("alignment", help="FASTA/PHYLIP/binary alignment")
+    infer.add_argument("-q", "--partitions", help="RAxML-style partition file")
+    infer.add_argument("-m", "--model", choices=["gamma", "psr", "none"],
+                       default="gamma", help="rate heterogeneity (default Γ)")
+    infer.add_argument("-M", dest="per_partition_branches", action="store_true",
+                       help="per-partition branch lengths (the paper's -M)")
+    infer.add_argument("-t", "--starting-tree", help="Newick starting tree")
+    infer.add_argument("-n", "--iterations", type=int, default=10)
+    infer.add_argument("-r", "--radius", type=int, default=5)
+    infer.add_argument("-e", "--epsilon", type=float, default=0.1)
+    infer.add_argument("--no-gtr", action="store_true",
+                       help="skip GTR exchangeability optimization")
+    infer.add_argument("-s", "--seed", type=int, default=42)
+    infer.add_argument("-o", "--output", help="write best tree here")
+    infer.add_argument("--checkpoint", help="write final checkpoint here")
+    infer.add_argument("--resume", help="resume from a checkpoint file")
+    infer.set_defaults(func=_cmd_infer)
+
+    sim = sub.add_parser("simulate", help="generate a benchmark alignment")
+    sim.add_argument("-t", "--taxa", type=int, default=50)
+    sim.add_argument("-l", "--sites", type=int, default=1000)
+    sim.add_argument("-a", "--alpha", type=float, default=0.8,
+                     help="Γ shape for site rates; <=0 disables")
+    sim.add_argument("-b", "--branch-length", type=float, default=0.08)
+    sim.add_argument("-s", "--seed", type=int, default=42)
+    sim.add_argument("-o", "--output", required=True)
+    sim.add_argument("--tree-out", help="also write the true tree")
+    sim.set_defaults(func=_cmd_simulate)
+
+    conv = sub.add_parser("convert", help="convert alignment formats")
+    conv.add_argument("input")
+    conv.add_argument("output")
+    conv.set_defaults(func=_cmd_convert)
+
+    rep = sub.add_parser("report", help="communication/runtime report")
+    rep.add_argument("alignment")
+    rep.add_argument("-q", "--partitions")
+    rep.add_argument("-m", "--model", choices=["gamma", "psr", "none"],
+                     default="gamma")
+    rep.add_argument("-M", dest="per_partition_branches", action="store_true")
+    rep.add_argument("-n", "--iterations", type=int, default=2)
+    rep.add_argument("-r", "--radius", type=int, default=2)
+    rep.add_argument("-s", "--seed", type=int, default=42)
+    rep.add_argument("-Q", "--mps", action="store_true",
+                     help="monolithic per-partition distribution")
+    rep.add_argument("--ranks", type=int, nargs="+",
+                     default=[48, 192, 768])
+    rep.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""Generators for the paper's benchmark workloads."""
+
+from repro.datasets.generators import (
+    PaperWorkload,
+    partitioned_workload,
+    large_unpartitioned_workload,
+    PARTITION_SERIES,
+    LARGE_N_TAXA,
+    LARGE_UNIQUE_PATTERNS,
+)
+
+__all__ = [
+    "PaperWorkload",
+    "partitioned_workload",
+    "large_unpartitioned_workload",
+    "PARTITION_SERIES",
+    "LARGE_N_TAXA",
+    "LARGE_UNIQUE_PATTERNS",
+]

@@ -1,0 +1,138 @@
+"""The de-centralized scheme (ExaML) — the paper's contribution.
+
+* :class:`DecentralizedCommModel` maps the abstract region stream onto the
+  ExaML communication pattern: **no** traversal-descriptor broadcasts, **no**
+  parameter broadcasts, no master — only an ``MPI_Allreduce`` wherever the
+  search needs a *global* quantity (the per-partition log likelihoods, the
+  branch-length derivatives, and the tiny PSR normalization sums).
+* :class:`DecentralizedBackend` is the *real* distributed implementation:
+  every rank runs the identical search on a local, consistent replica of
+  the tree and model state, communicating exclusively through rank-ordered
+  (hence bitwise-reproducible) allreduces — the property Section III-B
+  demands so replicas never diverge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engines.events import EventLog, Region, RegionKind
+from repro.engines.forkjoin import (
+    CAT_BL_OPT,
+    CAT_LIKELIHOOD,
+    CAT_MODEL,
+    CommEvent,
+)
+from repro.likelihood.backend import SequentialBackend, choose_psr_rates
+from repro.likelihood.partitioned import PartitionedLikelihood
+from repro.par.comm import Comm, ReduceOp
+from repro.tree.topology import Node
+
+__all__ = ["DecentralizedCommModel", "DecentralizedBackend"]
+
+_DOUBLE = 8
+
+
+class DecentralizedCommModel:
+    """Region → collectives mapping for the de-centralized scheme.
+
+    Regions that fork-join must synchronize (traversals, sumtable setup,
+    parameter broadcasts, PSR scan steps) cost *nothing* here: each replica
+    performs them locally.  Their compute still counts — the runtime
+    synthesizer folds it into the interval ending at the next allreduce.
+    """
+
+    name = "de-centralized (ExaML)"
+
+    def region_events(self, region: Region) -> list[CommEvent]:
+        p = region.n_partitions
+        nbs = region.n_branch_sets
+        if region.kind is RegionKind.EVALUATE:
+            return [CommEvent("allreduce", _DOUBLE * p, CAT_LIKELIHOOD)]
+        if region.kind is RegionKind.DERIVATIVE:
+            return [CommEvent("allreduce", 2 * _DOUBLE * nbs, CAT_BL_OPT)]
+        if region.kind is RegionKind.PARAM_PSR:
+            return [CommEvent("allreduce", 2 * _DOUBLE * p, CAT_MODEL)]
+        return []
+
+    def serial_bytes(self, region: Region) -> float:
+        """No master, no serial packing: every replica prepares only its
+        own (local) state."""
+        return 0.0
+
+    def byte_totals(self, log: EventLog) -> dict[str, float]:
+        totals: dict[str, float] = {CAT_BL_OPT: 0.0, CAT_LIKELIHOOD: 0.0, CAT_MODEL: 0.0}
+        for region in log:
+            for ev in self.region_events(region):
+                totals[ev.category] += ev.nbytes
+        return totals
+
+    def region_count(self, log: EventLog) -> int:
+        """Number of *communicating* regions (allreduce sites)."""
+        return sum(1 for r in log if self.region_events(r))
+
+
+class DecentralizedBackend(SequentialBackend):
+    """One replica of the ExaML scheme over a real communicator.
+
+    Every rank constructs this around its *local* data share and runs the
+    identical, deterministic search; the only inter-rank interaction is
+    the three allreduce sites below.  Rank-ordered reductions guarantee
+    bitwise-identical results on every replica.
+    """
+
+    def __init__(self, comm: Comm, lik: PartitionedLikelihood) -> None:
+        super().__init__(lik)
+        self.comm = comm
+
+    def evaluate(self, u: Node, v: Node) -> tuple[float, np.ndarray]:
+        self.lik.ensure_clvs(u, v)
+        local = np.array(
+            [self.lik._evaluate_partition(p, u, v)[0] for p in range(self.n_partitions)]
+        )
+        per_part = self.comm.allreduce(local, ReduceOp.SUM, tag=CAT_LIKELIHOOD)
+        return float(per_part.sum()), per_part
+
+    def derivatives(self, handle, t: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        d1p, d2p = self.lik.branch_derivatives(handle, t)
+        branch_sets = np.array([p.branch_set for p in self.lik.parts], dtype=np.intp)
+        local = np.vstack(
+            [
+                np.bincount(branch_sets, weights=d1p, minlength=self.n_branch_sets),
+                np.bincount(branch_sets, weights=d2p, minlength=self.n_branch_sets),
+            ]
+        )
+        summed = self.comm.allreduce(local, ReduceOp.SUM, tag=CAT_BL_OPT)
+        d1 = np.zeros(self.n_partitions)
+        d2 = np.zeros(self.n_partitions)
+        first: dict[int, int] = {}
+        for i, bs in enumerate(branch_sets):
+            first.setdefault(int(bs), i)
+        for bs, i in first.items():
+            d1[i] = summed[0][bs]
+            d2[i] = summed[1][bs]
+        return d1, d2
+
+    def optimize_psr(self, u: Node, v: Node, candidates: np.ndarray) -> None:
+        from repro.likelihood.backend import psr_scan_table
+
+        tables = psr_scan_table(self.lik, u, v, candidates)
+        if not tables:
+            return
+        psr_parts = sorted(tables)
+        sums = np.zeros(2 * len(psr_parts))
+        chosen: dict[int, np.ndarray] = {}
+        for k, i in enumerate(psr_parts):
+            rates_i = choose_psr_rates(candidates, tables[i])
+            chosen[i] = rates_i
+            w = self.lik.parts[i].weights
+            sums[2 * k] = float(np.dot(w, rates_i))
+            sums[2 * k + 1] = float(w.sum())
+        totals = self.comm.allreduce(sums, ReduceOp.SUM, tag=CAT_MODEL)
+        for k, i in enumerate(psr_parts):
+            factor = totals[2 * k] / totals[2 * k + 1]
+            self.lik.set_psr_rates(i, chosen[i] / factor)
+
+    # set_alphas / set_gtr_rates / set_branch_length are purely local:
+    # every replica executes the same deterministic update — the whole
+    # point of the de-centralized scheme (inherited from SequentialBackend).

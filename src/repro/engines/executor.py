@@ -1,0 +1,136 @@
+"""Tree-agnostic descriptor execution (the worker kernel).
+
+Fork-join workers in RAxML-Light never hold a tree: every likelihood
+operation reaches them as a *traversal descriptor* — node indices plus
+branch lengths — and they maintain conditional likelihood vectors keyed by
+those indices.  :class:`DescriptorExecutor` is exactly that: it executes
+wire-format descriptors over a list of local :class:`PartitionData`
+shares, with no topology knowledge whatsoever.
+
+Wire op format: ``(node, toward, child_a, child_b, t_a, t_b)`` where the
+``t_*`` are branch-length vectors of ``n_branch_sets`` doubles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CommError, LikelihoodError
+from repro.likelihood import kernel
+from repro.likelihood.partitioned import PartitionData
+
+__all__ = ["DescriptorExecutor"]
+
+
+class DescriptorExecutor:
+    """Executes broadcast descriptors on local site data.
+
+    Parameters
+    ----------
+    parts:
+        The rank's local partition shares (global taxon rows).
+    node_taxon:
+        ``node_id -> taxon row`` for every leaf of the master's tree.
+    """
+
+    def __init__(self, parts: list[PartitionData], node_taxon: dict[int, int]) -> None:
+        if not parts:
+            raise LikelihoodError("executor needs at least one partition")
+        self.parts = parts
+        self.node_taxon = dict(node_taxon)
+        # per partition: (node, toward) -> (clv, scale)
+        self._clv: list[dict[tuple[int, int], tuple[np.ndarray, np.ndarray]]] = [
+            {} for _ in parts
+        ]
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.parts)
+
+    def _side(
+        self, p: int, node_id: int, toward_id: int
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        row = self.node_taxon.get(node_id)
+        if row is not None:
+            return self.parts[p].tip_clv(row), None
+        try:
+            clv, scale = self._clv[p][(node_id, toward_id)]
+        except KeyError as exc:
+            raise CommError(
+                f"descriptor references unknown CLV ({node_id}->{toward_id})"
+            ) from exc
+        return clv, scale
+
+    def run_ops(self, wire: list[tuple]) -> None:
+        """Execute a wire descriptor (all partitions, dependency order)."""
+        for p, part in enumerate(self.parts):
+            eigen = part.model.eigen()
+            rates, _ = part.category_rates()
+            bs = part.branch_set
+            store = self._clv[p]
+            for node_id, toward_id, a_id, b_id, ta, tb in wire:
+                p_a = kernel.pmatrices(eigen, float(ta[bs]), rates)
+                p_b = kernel.pmatrices(eigen, float(tb[bs]), rates)
+                clv_a, scale_a = self._side(p, a_id, node_id)
+                clv_b, scale_b = self._side(p, b_id, node_id)
+                store[(node_id, toward_id)] = kernel.newview(
+                    p_a, clv_a, scale_a, p_b, clv_b, scale_b,
+                    site_specific=part.site_specific,
+                )
+
+    def evaluate(
+        self, u_id: int, v_id: int, t_root: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Local per-partition log likelihoods (and per-site values)."""
+        per_part = np.empty(self.n_partitions)
+        site_lhs: list[np.ndarray] = []
+        for p, part in enumerate(self.parts):
+            eigen = part.model.eigen()
+            rates, cat_w = part.category_rates()
+            p_root = kernel.pmatrices(eigen, float(t_root[part.branch_set]), rates)
+            clv_i, scale_i = self._side(p, u_id, v_id)
+            clv_j, scale_j = self._side(p, v_id, u_id)
+            total, log_site = kernel.evaluate_edge(
+                p_root, clv_i, scale_i, clv_j, scale_j,
+                part.model.frequencies, cat_w, part.weights,
+                site_specific=part.site_specific,
+            )
+            per_part[p] = total
+            site_lhs.append(log_site)
+        return per_part, site_lhs
+
+    def sumtables(self, u_id: int, v_id: int) -> list[np.ndarray]:
+        tables = []
+        for p, part in enumerate(self.parts):
+            eigen = part.model.eigen()
+            clv_i, _ = self._side(p, u_id, v_id)
+            clv_j, _ = self._side(p, v_id, u_id)
+            tables.append(kernel.sumtable(eigen, clv_i, clv_j))
+        return tables
+
+    def derivatives(
+        self, tables: list[np.ndarray], t: np.ndarray, n_branch_sets: int
+    ) -> np.ndarray:
+        """Per-branch-set summed (d1, d2) stacked as a ``(2, sets)`` array."""
+        d1 = np.zeros(n_branch_sets)
+        d2 = np.zeros(n_branch_sets)
+        for p, part in enumerate(self.parts):
+            eigen = part.model.eigen()
+            rates, cat_w = part.category_rates()
+            _, dl, d2l = kernel.derivatives_from_sumtable(
+                eigen, tables[p], float(t[part.branch_set]), rates, cat_w,
+                part.weights,
+            )
+            d1[part.branch_set] += dl
+            d2[part.branch_set] += d2l
+        return np.vstack([d1, d2])
+
+    # -- model updates (local, no CLV cache: caller re-broadcasts full
+    #    traversals after parameter changes, so stale CLVs are overwritten;
+    #    we still clear to keep memory bounded and bugs loud) ------------- #
+    def clear_clvs(self, p: int | None = None) -> None:
+        if p is None:
+            for store in self._clv:
+                store.clear()
+        else:
+            self._clv[p].clear()

@@ -1,0 +1,155 @@
+"""Fault tolerance on the de-centralized scheme (paper §V, future work).
+
+The paper argues the de-centralized design makes fault tolerance
+"relatively straightforward": every process replicates the complete search
+state (tree, model parameters, search position), so losing ranks loses
+*data shares*, never state — "maximum state redundancy".  Recovery is
+purely a data-redistribution problem: the failed ranks' site patterns must
+be re-assigned to survivors, and the survivors reload them (from the
+binary alignment format, via parallel I/O in the paper's plan).
+
+This module implements that recovery for the performance model and for
+in-process demonstrations:
+
+* :func:`redistribute_after_failure` — new :class:`DataDistribution` plus
+  the redistribution traffic;
+* :func:`recovery_time` — time to reload + redistribute under a machine
+  model;
+* :func:`forkjoin_failure_outcome` — the contrast case: a fork-join master
+  failure is unrecoverable (the paper's "catastrophic" observation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dist.distributions import DataDistribution
+from repro.errors import DistributionError
+from repro.par.machine import MachineSpec
+
+__all__ = [
+    "FailureReport",
+    "redistribute_after_failure",
+    "recovery_time",
+    "forkjoin_failure_outcome",
+]
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """Outcome of a rank-failure recovery."""
+
+    failed_ranks: tuple[int, ...]
+    survivors: int
+    bytes_moved: float
+    new_distribution: DataDistribution
+    recoverable: bool
+    reason: str = ""
+
+
+def redistribute_after_failure(
+    dist: DataDistribution,
+    failed_ranks: list[int],
+    bytes_per_pattern: float = 8.0,
+) -> FailureReport:
+    """Re-assign the failed ranks' data to the survivors.
+
+    Cyclic shares are re-spread evenly; MPS partitions are re-packed with
+    LPT over the surviving ranks (only the orphaned partitions move — the
+    survivors keep what they already hold, minimizing traffic).
+    """
+    failed = sorted(set(failed_ranks))
+    if not failed:
+        raise DistributionError("no failed ranks given")
+    if any(r < 0 or r >= dist.n_ranks for r in failed):
+        raise DistributionError("failed rank out of range")
+    if len(failed) >= dist.n_ranks:
+        raise DistributionError("cannot recover: every rank failed")
+
+    survivors = [r for r in range(dist.n_ranks) if r not in failed]
+    owned = dist.owned.copy()
+    orphan = owned[failed].sum(axis=0)  # (p,) patterns to re-home
+    owned[failed] = 0.0
+
+    if dist.kind == "mps":
+        assert dist.assignment is not None
+        orphan_parts = [
+            j for j in range(dist.n_partitions) if dist.assignment[j] in failed
+        ]
+        # pack orphaned partitions onto the currently least-loaded survivors
+        new_assignment = dist.assignment.copy()
+        loads = owned[survivors].sum(axis=1)
+        orphan_loads = np.array([orphan[j] for j in orphan_parts])
+        order = np.argsort(-orphan_loads, kind="stable")
+        for k in order:
+            j = orphan_parts[int(k)]
+            s = int(np.argmin(loads))
+            owned[survivors[s], j] = orphan[j]
+            new_assignment[j] = survivors[s]
+            loads[s] += orphan[j]
+        new_dist = DataDistribution(
+            kind="mps",
+            owned=owned[survivors],
+            assignment=np.array(
+                [survivors.index(int(r)) for r in new_assignment], dtype=np.intp
+            ),
+        )
+    else:
+        # cyclic: spread each partition's orphaned patterns evenly
+        for j in range(dist.n_partitions):
+            if orphan[j] > 0:
+                owned[survivors, j] += orphan[j] / len(survivors)
+        new_dist = DataDistribution(kind="cyclic", owned=owned[survivors])
+
+    bytes_moved = float(orphan.sum()) * bytes_per_pattern
+    return FailureReport(
+        failed_ranks=tuple(failed),
+        survivors=len(survivors),
+        bytes_moved=bytes_moved,
+        new_distribution=new_dist,
+        recoverable=True,
+        reason="decentralized replicas hold full search state; only data moves",
+    )
+
+
+def recovery_time(
+    report: FailureReport,
+    machine: MachineSpec,
+    io_bandwidth_bps: float = 2.0e9,
+) -> float:
+    """Seconds to recover: reload the orphaned data (parallel I/O across
+    survivors) plus one synchronizing barrier-equivalent allreduce."""
+    from repro.par.network import allreduce_time
+
+    if not report.recoverable:
+        return float("inf")
+    reload_s = report.bytes_moved / (io_bandwidth_bps * max(1, report.survivors))
+    sync_s = allreduce_time(machine, report.survivors, 16)
+    return reload_s + sync_s
+
+
+def forkjoin_failure_outcome(failed_ranks: list[int]) -> FailureReport:
+    """What the fork-join scheme can do about the same failure.
+
+    Worker failures lose data *and* the master's ability to continue
+    (RAxML-Light aborts); a master failure loses the only copy of the
+    search state — the paper calls this catastrophic.  Either way the run
+    restarts from the last checkpoint.
+    """
+    catastrophic = 0 in failed_ranks
+    return FailureReport(
+        failed_ranks=tuple(sorted(set(failed_ranks))),
+        survivors=0,
+        bytes_moved=0.0,
+        new_distribution=DataDistribution(
+            kind="cyclic", owned=np.zeros((1, 1))
+        ),
+        recoverable=False,
+        reason=(
+            "master failure: the only copy of the search state is lost"
+            if catastrophic
+            else "worker failure: fork-join aborts, restart from checkpoint"
+        ),
+    )

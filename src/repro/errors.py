@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library errors without also
+swallowing programming mistakes (``TypeError`` etc. propagate unchanged).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AlignmentError(ReproError):
+    """Malformed alignment data: ragged rows, unknown characters, empty input."""
+
+
+class NewickError(ReproError):
+    """Syntax or semantic error while parsing or writing Newick trees."""
+
+
+class TreeError(ReproError):
+    """Invalid tree manipulation: bad degree, missing edge, broken rearrangement."""
+
+
+class ModelError(ReproError):
+    """Invalid substitution-model or rate-heterogeneity configuration."""
+
+
+class LikelihoodError(ReproError):
+    """Numerical or structural failure inside the likelihood machinery."""
+
+
+class CommError(ReproError):
+    """Failure inside the virtual-MPI communication layer."""
+
+
+class DistributionError(ReproError):
+    """Infeasible or inconsistent data-distribution request."""
+
+
+class SearchError(ReproError):
+    """Tree-search driver failure (non-convergence, invalid configuration)."""
+
+
+class CheckpointError(ReproError):
+    """Corrupt or incompatible checkpoint file."""

@@ -1,0 +1,21 @@
+"""Likelihood core: CLV kernels, partitioned likelihood orchestration,
+Newton–Raphson branch optimization and model-parameter optimization."""
+
+from repro.likelihood.partitioned import PartitionedLikelihood, PartitionData
+from repro.likelihood.kernel import (
+    newview,
+    evaluate_edge,
+    sumtable,
+    derivatives_from_sumtable,
+    SCALE_THRESHOLD,
+)
+
+__all__ = [
+    "PartitionedLikelihood",
+    "PartitionData",
+    "newview",
+    "evaluate_edge",
+    "sumtable",
+    "derivatives_from_sumtable",
+    "SCALE_THRESHOLD",
+]

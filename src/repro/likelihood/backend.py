@@ -1,0 +1,204 @@
+"""The likelihood-backend protocol and its sequential reference.
+
+The tree search and the parameter optimizers are written against this
+small protocol.  **Each method call corresponds to exactly one parallel
+region** (or to a purely local action), which is what lets the two engines
+implement the paper's two communication schemes without touching the
+search logic:
+
+==================  =========================   =========================
+method              fork-join (RAxML-Light)     de-centralized (ExaML)
+==================  =========================   =========================
+``evaluate``        bcast descriptor+params,    local traversal,
+                    workers compute, reduce     allreduce p doubles
+``begin_branch``    bcast descriptor, barrier   local traversal
+``derivatives``     bcast t, reduce 2/2p dbl    allreduce 2/2p doubles
+``set_*`` params    bcast parameter arrays      local (replicas replay the
+                                                same deterministic update)
+``optimize_psr``    bcast candidates, workers   local scan, allreduce the
+                    scan+choose locally         normalization sums
+==================  =========================   =========================
+
+:class:`SequentialBackend` is the single-rank reference implementation all
+engines are tested against: every engine must produce *numerically
+identical* likelihoods, parameters and trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol
+
+import numpy as np
+
+from repro.likelihood.partitioned import BranchWorkspace, PartitionedLikelihood
+from repro.model.rates import DiscreteGamma, PerSiteRates
+from repro.tree.topology import Node, Tree
+
+__all__ = ["PartitionInfo", "LikelihoodBackend", "SequentialBackend", "psr_scan_table"]
+
+
+@dataclass(frozen=True)
+class PartitionInfo:
+    """Static facts about a partition the optimizers need."""
+
+    index: int
+    name: str
+    branch_set: int
+    n_cats: int
+    site_specific: bool
+    has_gamma: bool
+    cost_patterns: float
+
+
+class LikelihoodBackend(Protocol):
+    """What the search and the optimizers require of an engine."""
+
+    tree: Tree
+
+    @property
+    def n_partitions(self) -> int: ...
+
+    @property
+    def n_branch_sets(self) -> int: ...
+
+    def partition_info(self) -> list[PartitionInfo]: ...
+
+    def evaluate(self, u: Node, v: Node) -> tuple[float, np.ndarray]: ...
+
+    def begin_branch(self, u: Node, v: Node) -> Any: ...
+
+    def derivatives(
+        self, handle: Any, t: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]: ...
+
+    def set_branch_length(self, u: Node, v: Node, t: np.ndarray) -> None: ...
+
+    def set_alphas(self, alphas: dict[int, float]) -> None: ...
+
+    def set_gtr_rates(self, rates: dict[int, np.ndarray]) -> None: ...
+
+    def get_alpha(self, p: int) -> float: ...
+
+    def get_gtr_rates(self, p: int) -> np.ndarray: ...
+
+    def optimize_psr(self, u: Node, v: Node, candidates: np.ndarray) -> None: ...
+
+    def finish(self) -> None: ...
+
+
+def _partition_info_from(lik: PartitionedLikelihood) -> list[PartitionInfo]:
+    out = []
+    for i, part in enumerate(lik.parts):
+        out.append(
+            PartitionInfo(
+                index=i,
+                name=part.name,
+                branch_set=part.branch_set,
+                n_cats=part.n_cats,
+                site_specific=part.site_specific,
+                has_gamma=isinstance(part.rate_het, DiscreteGamma),
+                cost_patterns=part.cost_patterns,
+            )
+        )
+    return out
+
+
+def psr_scan_table(
+    lik: PartitionedLikelihood, u: Node, v: Node, candidates: np.ndarray
+) -> dict[int, np.ndarray]:
+    """Per-site log likelihood under each constant candidate rate.
+
+    For every PSR partition returns an array ``(len(candidates),
+    n_patterns)``.  This is the compute-heavy half of PSR optimization
+    (one full traversal per candidate); choosing the argmax per site and
+    normalizing is cheap and is done by the caller.
+    """
+    psr_parts = [
+        i for i, part in enumerate(lik.parts) if isinstance(part.rate_het, PerSiteRates)
+    ]
+    tables: dict[int, list[np.ndarray]] = {i: [] for i in psr_parts}
+    saved = {i: lik.parts[i].rate_het.rates.copy() for i in psr_parts}
+    for rate in candidates:
+        for i in psr_parts:
+            lik.set_psr_rates(i, np.full(lik.parts[i].n_patterns, float(rate)))
+        site_lhs = lik.site_log_likelihoods(u, v)
+        for i in psr_parts:
+            tables[i].append(site_lhs[i])
+    for i in psr_parts:  # restore so a failed caller leaves state intact
+        lik.set_psr_rates(i, saved[i])
+    return {i: np.vstack(rows) for i, rows in tables.items()}
+
+
+def choose_psr_rates(
+    candidates: np.ndarray, table: np.ndarray
+) -> np.ndarray:
+    """Argmax per site over the candidate scan table."""
+    best = np.asarray(candidates, dtype=np.float64)[np.argmax(table, axis=0)]
+    return best
+
+
+class SequentialBackend:
+    """Single-rank backend: drives a full-data :class:`PartitionedLikelihood`.
+
+    This is both the correctness oracle for the engines and the
+    ``size == 1`` execution path of the library.
+    """
+
+    def __init__(self, lik: PartitionedLikelihood) -> None:
+        self.lik = lik
+        self.tree = lik.tree
+
+    @property
+    def n_partitions(self) -> int:
+        return self.lik.n_partitions
+
+    @property
+    def n_branch_sets(self) -> int:
+        return self.lik.n_branch_sets
+
+    def partition_info(self) -> list[PartitionInfo]:
+        return _partition_info_from(self.lik)
+
+    def evaluate(self, u: Node, v: Node) -> tuple[float, np.ndarray]:
+        total, per_part, _ = self.lik.evaluate(u, v)
+        return total, per_part
+
+    def begin_branch(self, u: Node, v: Node) -> BranchWorkspace:
+        return self.lik.prepare_branch(u, v)
+
+    def derivatives(
+        self, handle: BranchWorkspace, t: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return self.lik.branch_derivatives(handle, t)
+
+    def set_branch_length(self, u: Node, v: Node, t: np.ndarray) -> None:
+        self.tree.set_edge_length(u, v, t)
+
+    def set_alphas(self, alphas: dict[int, float]) -> None:
+        for p, alpha in sorted(alphas.items()):
+            self.lik.set_alpha(p, alpha)
+
+    def set_gtr_rates(self, rates: dict[int, np.ndarray]) -> None:
+        for p, r in sorted(rates.items()):
+            self.lik.set_gtr_rates(p, r)
+
+    def get_alpha(self, p: int) -> float:
+        return self.lik.get_alpha(p)
+
+    def get_gtr_rates(self, p: int) -> np.ndarray:
+        return self.lik.parts[p].model.rates.copy()
+
+    def optimize_psr(self, u: Node, v: Node, candidates: np.ndarray) -> None:
+        tables = psr_scan_table(self.lik, u, v, candidates)
+        for p, table in sorted(tables.items()):
+            rates = choose_psr_rates(candidates, table)
+            part = self.lik.parts[p]
+            rate_het = part.rate_het
+            assert isinstance(rate_het, PerSiteRates)
+            rate_het.set_rates(rates)
+            rate_het.normalize(part.weights)
+            self.lik.invalidate_partition(p)
+
+    def finish(self) -> None:  # nothing to tear down
+        return None

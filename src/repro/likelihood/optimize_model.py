@@ -1,0 +1,245 @@
+"""Model-parameter optimization: α shapes, GTR exchangeabilities, PSR rates.
+
+Everything here follows the *simultaneous proposal* principle the paper
+inherits from [Stamatakis & Ott, ICPP 2009]: a parameter-optimization
+iteration proposes **one new value for every partition at once** and
+evaluates them all in a single parallel region.  Optimizing partitions one
+after another would multiply the number of parallel regions by ``p`` and
+destroy parallel efficiency — the exact failure mode the paper's Section II
+discusses.
+
+The scalar searches use a vectorized golden-section bracket per partition
+(:class:`VectorGolden`): robust, derivative-free, and — crucially for the
+decentralized engine — *bitwise deterministic*, so every replica reaches
+the same parameter values from the same reduced likelihoods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LikelihoodError, ModelError
+from repro.model.rates import ALPHA_MAX, ALPHA_MIN
+
+__all__ = [
+    "VectorGolden",
+    "optimize_alphas",
+    "optimize_gtr",
+    "optimize_psr",
+    "optimize_model",
+    "default_psr_candidates",
+]
+
+_INV_PHI = (np.sqrt(5.0) - 1.0) / 2.0  # 0.618...
+
+#: Bounds for GTR exchangeabilities during optimization (the reference
+#: rate GT stays fixed at 1).
+GTR_RATE_MIN = 0.02
+GTR_RATE_MAX = 50.0
+
+
+class VectorGolden:
+    """Golden-section maximization of ``m`` independent scalar functions
+    that can only be evaluated *together* (one candidate per function per
+    step — one parallel region per step).
+
+    Works in a transformed coordinate (callers pass log-space bounds for
+    scale parameters).  After :meth:`step` iterations, :meth:`best` returns
+    the incumbent per function.
+    """
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray) -> None:
+        lo = np.asarray(lo, dtype=np.float64)
+        hi = np.asarray(hi, dtype=np.float64)
+        if lo.shape != hi.shape or lo.ndim != 1:
+            raise LikelihoodError("bounds must be matching vectors")
+        if np.any(hi <= lo):
+            raise LikelihoodError("need lo < hi")
+        self.a = lo.copy()
+        self.b = hi.copy()
+        self.x1 = self.b - _INV_PHI * (self.b - self.a)
+        self.x2 = self.a + _INV_PHI * (self.b - self.a)
+        self.f1 = np.full(lo.shape, np.nan)
+        self.f2 = np.full(lo.shape, np.nan)
+        self._phase = 0  # 0: need f(x1); 1: need f(x2); 2: steady state
+        self._pending: np.ndarray | None = None
+
+    def next_candidates(self) -> np.ndarray:
+        """Coordinates to evaluate next (one per function)."""
+        if self._phase == 0:
+            self._pending = self.x1.copy()
+        elif self._phase == 1:
+            self._pending = self.x2.copy()
+        else:
+            # steady state: exactly one of f1/f2 is stale (NaN)
+            self._pending = np.where(np.isnan(self.f1), self.x1, self.x2)
+        return self._pending.copy()
+
+    def update(self, values: np.ndarray) -> None:
+        """Feed back the function values at the last candidates."""
+        values = np.asarray(values, dtype=np.float64)
+        if self._pending is None or values.shape != self._pending.shape:
+            raise LikelihoodError("update does not match pending candidates")
+        if self._phase == 0:
+            self.f1 = values.copy()
+            self._phase = 1
+            self._pending = None
+            return
+        if self._phase == 1:
+            self.f2 = values.copy()
+            self._phase = 2
+        else:
+            stale1 = np.isnan(self.f1)
+            self.f1 = np.where(stale1, values, self.f1)
+            self.f2 = np.where(~stale1, values, self.f2)
+        # shrink: keep the half containing the larger value
+        keep_left = self.f1 >= self.f2  # maximizing
+        # left: [a, x2] with interior x1 -> new x2' = x1, f2' = f1, f1 stale
+        new_a = np.where(keep_left, self.a, self.x1)
+        new_b = np.where(keep_left, self.x2, self.b)
+        self.a, self.b = new_a, new_b
+        old_x1, old_x2 = self.x1, self.x2
+        old_f1, old_f2 = self.f1, self.f2
+        self.x1 = self.b - _INV_PHI * (self.b - self.a)
+        self.x2 = self.a + _INV_PHI * (self.b - self.a)
+        self.f1 = np.where(keep_left, np.nan, old_f2)
+        self.f2 = np.where(keep_left, old_f1, np.nan)
+        self._pending = None
+
+    def best(self) -> np.ndarray:
+        """Incumbent coordinate per function."""
+        f1 = np.where(np.isnan(self.f1), -np.inf, self.f1)
+        f2 = np.where(np.isnan(self.f2), -np.inf, self.f2)
+        return np.where(f1 >= f2, self.x1, self.x2)
+
+    def width(self) -> np.ndarray:
+        return self.b - self.a
+
+
+def optimize_alphas(
+    backend, u, v, iterations: int = 24, improve_guard: bool = True
+) -> float:
+    """Optimize the Γ shape α of every Γ partition simultaneously.
+
+    Each golden-section step is one ``set_alphas`` region (broadcast of
+    ``p`` doubles under fork-join) plus one ``evaluate`` region.  Returns
+    the final total log likelihood.
+    """
+    infos = backend.partition_info()
+    gamma_parts = [info.index for info in infos if info.has_gamma]
+    base_total, base_per_part = backend.evaluate(u, v)
+    if not gamma_parts:
+        return base_total
+
+    idx = np.array(gamma_parts, dtype=np.intp)
+    base_alphas = {int(p): backend.get_alpha(int(p)) for p in idx}
+    golden = VectorGolden(
+        np.full(len(idx), np.log(ALPHA_MIN)),
+        np.full(len(idx), np.log(ALPHA_MAX)),
+    )
+    for _ in range(iterations):
+        cands = np.exp(golden.next_candidates())
+        backend.set_alphas({int(p): float(a) for p, a in zip(idx, cands)})
+        _, per_part = backend.evaluate(u, v)
+        golden.update(per_part[idx])
+    best_alphas = np.exp(golden.best())
+    # per-partition guard: keep a partition's previous alpha when the
+    # bracketed optimum is not actually better (flat or multimodal surface)
+    backend.set_alphas({int(p): float(a) for p, a in zip(idx, best_alphas)})
+    total, per_part = backend.evaluate(u, v)
+    if improve_guard:
+        worse = per_part[idx] < base_per_part[idx]
+        if np.any(worse):
+            revert = {
+                int(p): base_alphas[int(p)] for p, w in zip(idx, worse) if w
+            }
+            backend.set_alphas(revert)
+            total, per_part = backend.evaluate(u, v)
+    return total
+
+
+def optimize_gtr(backend, u, v, iterations: int = 16) -> float:
+    """Optimize the five free GTR exchangeabilities, one coordinate at a
+    time, for all partitions simultaneously (coordinate descent with a
+    golden-section line search per coordinate)."""
+    n = backend.n_partitions
+    # current rates per partition (copy; the reference rate stays 1)
+    current = [backend.get_gtr_rates(p).copy() for p in range(n)]
+    total, per_part = backend.evaluate(u, v)
+    for coord in range(5):
+        before = per_part.copy()
+        saved = [r.copy() for r in current]
+        golden = VectorGolden(
+            np.full(n, np.log(GTR_RATE_MIN)), np.full(n, np.log(GTR_RATE_MAX))
+        )
+        for _ in range(iterations):
+            cands = np.exp(golden.next_candidates())
+            proposal = {}
+            for p in range(n):
+                r = current[p].copy()
+                r[coord] = cands[p]
+                proposal[p] = r
+            backend.set_gtr_rates(proposal)
+            _, trial = backend.evaluate(u, v)
+            golden.update(trial)
+        best = np.exp(golden.best())
+        for p in range(n):
+            current[p][coord] = best[p]
+        backend.set_gtr_rates({p: current[p] for p in range(n)})
+        total, per_part = backend.evaluate(u, v)
+        worse = per_part < before
+        if np.any(worse):
+            for p in np.nonzero(worse)[0]:
+                current[p] = saved[p]
+            backend.set_gtr_rates({int(p): current[p] for p in np.nonzero(worse)[0]})
+            total, per_part = backend.evaluate(u, v)
+    return total
+
+
+def default_psr_candidates(n: int = 20) -> np.ndarray:
+    """Log-spaced candidate rates for the PSR scan, always including 1."""
+    if n < 3:
+        raise ModelError("need at least 3 PSR candidates")
+    grid = np.geomspace(0.05, 15.0, n - 1)
+    return np.sort(np.append(grid, 1.0))
+
+
+def optimize_psr(backend, u, v, n_candidates: int = 20) -> float:
+    """Optimize the per-site rates of every PSR partition.
+
+    The scan (one full traversal per candidate rate) happens inside the
+    backend because site data is rank-local; see
+    :meth:`LikelihoodBackend.optimize_psr`.  Returns the total log
+    likelihood after the update.
+    """
+    infos = backend.partition_info()
+    if not any(info.site_specific for info in infos):
+        total, _ = backend.evaluate(u, v)
+        return total
+    backend.optimize_psr(u, v, default_psr_candidates(n_candidates))
+    total, _ = backend.evaluate(u, v)
+    return total
+
+
+def optimize_model(
+    backend,
+    u,
+    v,
+    alpha_iterations: int = 24,
+    gtr_iterations: int = 16,
+    psr_candidates: int = 20,
+    optimize_rates: bool = True,
+) -> float:
+    """One full model-optimization round: GTR rates, then α / PSR rates.
+
+    Returns the total log likelihood afterwards.
+    """
+    total, _ = backend.evaluate(u, v)
+    if optimize_rates:
+        total = optimize_gtr(backend, u, v, iterations=gtr_iterations)
+    infos = backend.partition_info()
+    if any(info.has_gamma for info in infos):
+        total = optimize_alphas(backend, u, v, iterations=alpha_iterations)
+    if any(info.site_specific for info in infos):
+        total = optimize_psr(backend, u, v, n_candidates=psr_candidates)
+    return total

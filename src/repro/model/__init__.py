@@ -1,0 +1,19 @@
+"""Model substrate: GTR-family substitution models, eigen-decomposition,
+transition-probability matrices and rate heterogeneity (Γ and PSR)."""
+
+from repro.model.substitution import SubstitutionModel, GTR, JC69, K80, F81, HKY85, EigenSystem
+from repro.model.rates import DiscreteGamma, PerSiteRates, RateHeterogeneity, NoRateHeterogeneity
+
+__all__ = [
+    "SubstitutionModel",
+    "GTR",
+    "JC69",
+    "K80",
+    "F81",
+    "HKY85",
+    "EigenSystem",
+    "DiscreteGamma",
+    "PerSiteRates",
+    "RateHeterogeneity",
+    "NoRateHeterogeneity",
+]

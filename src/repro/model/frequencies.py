@@ -1,0 +1,40 @@
+"""Base-frequency utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["validate_frequencies", "uniform_frequencies", "smooth_frequencies"]
+
+
+def uniform_frequencies(n_states: int) -> np.ndarray:
+    """Uniform stationary distribution over ``n_states``."""
+    if n_states < 2:
+        raise ModelError("need at least two states")
+    return np.full(n_states, 1.0 / n_states)
+
+
+def validate_frequencies(freqs: np.ndarray, n_states: int) -> np.ndarray:
+    """Validate and renormalize a frequency vector."""
+    freqs = np.asarray(freqs, dtype=np.float64)
+    if freqs.shape != (n_states,):
+        raise ModelError(f"expected {n_states} frequencies, got {freqs.shape}")
+    if np.any(freqs <= 0):
+        raise ModelError("frequencies must be strictly positive")
+    return freqs / freqs.sum()
+
+
+def smooth_frequencies(freqs: np.ndarray, floor: float = 1e-4) -> np.ndarray:
+    """Clamp tiny empirical frequencies away from zero and renormalize.
+
+    Empirical frequencies from short partitions can hit zero for a state
+    that simply never occurs; a zero frequency makes GTR degenerate, so
+    likelihood codes floor them.
+    """
+    freqs = np.asarray(freqs, dtype=np.float64)
+    if floor <= 0 or floor >= 1.0 / freqs.size:
+        raise ModelError("floor must be in (0, 1/n_states)")
+    out = np.maximum(freqs, floor)
+    return out / out.sum()

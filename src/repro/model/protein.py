@@ -1,0 +1,101 @@
+"""Protein substitution models.
+
+The likelihood substrate is state-count agnostic (the kernels, CLV cache
+and optimizers never assume four states), so amino-acid analyses come
+down to providing 20-state models:
+
+* :func:`POISSON` — the 20-state equal-rates model (the protein analogue
+  of JC69), fully specified analytically;
+* :func:`GTR20` — free exchangeabilities (190 parameters), for users who
+  estimate them;
+* :func:`parse_paml_dat` — loader for the standard PAML ``.dat`` exchange
+  format in which the classical empirical matrices (WAG, LG, JTT, …) are
+  distributed, so users can drop in the published files verbatim.  We do
+  not embed those matrices: transcribing 190 coefficients from memory
+  invites silent errors, and the paper's experiments are DNA-only.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.substitution import SubstitutionModel
+from repro.seq.alphabet import AMINO_ACIDS
+
+__all__ = ["POISSON", "GTR20", "parse_paml_dat", "read_paml_dat", "N_AA"]
+
+N_AA = 20
+_N_EXCH = N_AA * (N_AA - 1) // 2  # 190
+
+
+def POISSON() -> SubstitutionModel:
+    """Equal exchangeabilities, uniform frequencies (20-state JC)."""
+    return SubstitutionModel(np.ones(_N_EXCH), np.full(N_AA, 1.0 / N_AA))
+
+
+def GTR20(rates, frequencies) -> SubstitutionModel:
+    """Fully parameterized 20-state reversible model."""
+    rates = np.asarray(rates, dtype=np.float64)
+    if rates.shape != (_N_EXCH,):
+        raise ModelError(f"GTR20 needs {_N_EXCH} exchangeabilities")
+    return SubstitutionModel(rates, np.asarray(frequencies, dtype=np.float64))
+
+
+def parse_paml_dat(text: str) -> SubstitutionModel:
+    """Parse a PAML ``.dat`` empirical amino-acid matrix.
+
+    Format: a strictly lower-triangular matrix of exchangeabilities (19
+    rows of 1..19 numbers, whitespace/newline separated) followed by the
+    20 stationary frequencies.  Comment lines and trailing prose are
+    tolerated the way PAML tolerates them: we simply read the first 210
+    numbers.
+
+    PAML's row order follows the alphabet ``ARNDCQEGHILKMFPSTWYV``, which
+    is exactly :data:`repro.seq.alphabet.AMINO_ACIDS`.
+    """
+    numbers: list[float] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith(("#", "//")):
+            continue
+        for token in line.split():
+            try:
+                numbers.append(float(token))
+            except ValueError:
+                break  # prose after the numeric block: stop this line
+        if len(numbers) >= _N_EXCH + N_AA:
+            break
+    if len(numbers) < _N_EXCH + N_AA:
+        raise ModelError(
+            f"PAML matrix needs {_N_EXCH} exchangeabilities + {N_AA} "
+            f"frequencies, found only {len(numbers)} numbers"
+        )
+    lower = numbers[:_N_EXCH]
+    freqs = np.array(numbers[_N_EXCH : _N_EXCH + N_AA])
+
+    # re-pack the strictly-lower-triangular row order into our
+    # upper-triangular row-major order: lower[(i, j)] with i>j maps to
+    # exchangeability (j, i)
+    mat = np.zeros((N_AA, N_AA))
+    k = 0
+    for i in range(1, N_AA):
+        for j in range(i):
+            mat[i, j] = lower[k]
+            mat[j, i] = lower[k]
+            k += 1
+    iu = np.triu_indices(N_AA, k=1)
+    rates = mat[iu]
+    if np.any(rates <= 0):
+        raise ModelError("empirical matrix has non-positive exchangeabilities")
+    total = freqs.sum()
+    if not 0.9 < total < 1.1:
+        raise ModelError(f"frequencies sum to {total}, not ~1")
+    return SubstitutionModel(rates, freqs / total)
+
+
+def read_paml_dat(path: str | Path) -> SubstitutionModel:
+    """Read a PAML ``.dat`` file from disk."""
+    return parse_paml_dat(Path(path).read_text())

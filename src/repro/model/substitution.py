@@ -1,0 +1,220 @@
+"""Time-reversible substitution models (the GTR family).
+
+The General Time Reversible model [Tavaré 1986] is parameterized by six
+exchangeability rates (AC, AG, AT, CG, CT, GT) and the stationary base
+frequencies π.  The rate matrix is ``Q[i, j] = r[i, j] * π[j]`` for
+``i != j``, normalized so the expected number of substitutions per unit
+branch length is one.
+
+Because GTR is reversible, ``B = diag(√π) · Q · diag(1/√π)`` is symmetric
+and can be diagonalized with the numerically robust :func:`numpy.linalg.eigh`.
+The resulting :class:`EigenSystem` provides two things the likelihood core
+needs:
+
+* batched transition matrices ``P(t) = exp(Q t)``;
+* the eigenbasis *z-transform* used for analytic branch-length derivatives:
+  with ``z(L) = L · Wrᵀ`` (``Wr = Vᵀ diag(√π)``), the per-site likelihood
+  at a branch of length ``t`` becomes ``f(t) = Σ_k z_i[k] z_j[k] e^{λ_k t}``,
+  whose derivatives in ``t`` are trivial.  This mirrors RAxML's "sumtable"
+  trick for the Newton–Raphson branch optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = [
+    "EigenSystem",
+    "SubstitutionModel",
+    "GTR",
+    "JC69",
+    "K80",
+    "F81",
+    "HKY85",
+    "RATE_ORDER",
+]
+
+#: Order of the six GTR exchangeability parameters.
+RATE_ORDER = ("AC", "AG", "AT", "CG", "CT", "GT")
+
+_MIN_FREQ = 1e-8
+_MIN_RATE = 1e-7
+
+
+@dataclass(frozen=True)
+class EigenSystem:
+    """Eigen-decomposition of a reversible rate matrix.
+
+    Attributes
+    ----------
+    eigenvalues:
+        λ, shape ``(n_states,)``, all ≤ 0 with exactly one zero.
+    left:
+        ``diag(1/√π) · V``, shape ``(n, n)``.
+    right:
+        ``Vᵀ · diag(√π)``, shape ``(n, n)``; ``P(t) = left·diag(e^{λt})·right``.
+    frequencies:
+        Stationary distribution π.
+    """
+
+    eigenvalues: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    frequencies: np.ndarray
+
+    @property
+    def n_states(self) -> int:
+        return int(self.eigenvalues.shape[0])
+
+    def pmatrices(self, t: np.ndarray | float) -> np.ndarray:
+        """Transition matrices ``P(t)`` for a batch of branch lengths.
+
+        ``t`` may have any shape ``S``; the result has shape ``S + (n, n)``.
+        """
+        t = np.asarray(t, dtype=np.float64)
+        expo = np.exp(t[..., None] * self.eigenvalues)  # S + (n,)
+        # P = left @ diag(expo) @ right, batched over S
+        return np.einsum("ik,...k,kj->...ij", self.left, expo, self.right)
+
+    def ztransform(self, clv: np.ndarray) -> np.ndarray:
+        """Map CLVs into the eigenbasis: ``z = clv · rightᵀ``.
+
+        Works on any array whose last axis is the state axis.
+        """
+        return clv @ self.right.T
+
+
+class SubstitutionModel:
+    """A GTR-family substitution model over an ``n_states`` alphabet.
+
+    Parameters
+    ----------
+    rates:
+        Upper-triangle exchangeabilities, length ``n(n-1)/2``, in row-major
+        order (for DNA: AC, AG, AT, CG, CT, GT).  The last rate (GT) is the
+        conventional reference and is typically fixed to 1.
+    frequencies:
+        Stationary frequencies, length ``n_states``, positive, summing to 1.
+    """
+
+    def __init__(self, rates: np.ndarray, frequencies: np.ndarray) -> None:
+        frequencies = np.asarray(frequencies, dtype=np.float64)
+        rates = np.asarray(rates, dtype=np.float64)
+        n = frequencies.shape[0]
+        if n < 2:
+            raise ModelError("need at least two states")
+        expected = n * (n - 1) // 2
+        if rates.shape != (expected,):
+            raise ModelError(
+                f"expected {expected} exchangeabilities for {n} states, "
+                f"got shape {rates.shape}"
+            )
+        if np.any(rates < _MIN_RATE):
+            raise ModelError(f"exchangeabilities must be >= {_MIN_RATE}")
+        if np.any(frequencies < _MIN_FREQ):
+            raise ModelError(f"frequencies must be >= {_MIN_FREQ}")
+        if not np.isclose(frequencies.sum(), 1.0, atol=1e-6):
+            raise ModelError(f"frequencies sum to {frequencies.sum()}, not 1")
+        self.rates = rates.copy()
+        self.frequencies = frequencies / frequencies.sum()
+        self._eigen: EigenSystem | None = None
+
+    @property
+    def n_states(self) -> int:
+        return int(self.frequencies.shape[0])
+
+    # ------------------------------------------------------------------ #
+    def rate_matrix(self) -> np.ndarray:
+        """The normalized rate matrix Q (rows sum to 0, mean rate 1)."""
+        n = self.n_states
+        r = np.zeros((n, n))
+        iu = np.triu_indices(n, k=1)
+        r[iu] = self.rates
+        r = r + r.T
+        q = r * self.frequencies[None, :]
+        np.fill_diagonal(q, 0.0)
+        np.fill_diagonal(q, -q.sum(axis=1))
+        # normalize: expected substitutions per unit time = -Σ π_i q_ii = 1
+        mu = -np.dot(self.frequencies, np.diag(q))
+        if mu <= 0:  # pragma: no cover - defensive
+            raise ModelError("degenerate rate matrix")
+        return q / mu
+
+    def eigen(self) -> EigenSystem:
+        """Cached eigen-decomposition of the normalized rate matrix."""
+        if self._eigen is None:
+            q = self.rate_matrix()
+            pi = self.frequencies
+            sqrt_pi = np.sqrt(pi)
+            b = (sqrt_pi[:, None] * q) / sqrt_pi[None, :]
+            b = 0.5 * (b + b.T)  # symmetrize against round-off
+            lam, v = np.linalg.eigh(b)
+            # Clamp the (analytically zero) top eigenvalue exactly to 0 so
+            # that P(t) rows sum to one even for huge t.
+            lam = np.minimum(lam, 0.0)
+            lam[np.argmax(lam)] = 0.0
+            left = v / sqrt_pi[:, None]
+            right = v.T * sqrt_pi[None, :]
+            self._eigen = EigenSystem(
+                eigenvalues=lam, left=left, right=right, frequencies=pi.copy()
+            )
+        return self._eigen
+
+    # ------------------------------------------------------------------ #
+    def with_rates(self, rates: np.ndarray) -> "SubstitutionModel":
+        """New model with replaced exchangeabilities (frequencies kept)."""
+        return SubstitutionModel(rates, self.frequencies)
+
+    def with_frequencies(self, frequencies: np.ndarray) -> "SubstitutionModel":
+        """New model with replaced frequencies (exchangeabilities kept)."""
+        return SubstitutionModel(self.rates, frequencies)
+
+    def normalized_rates(self) -> np.ndarray:
+        """Exchangeabilities scaled so the last entry (GT for DNA) is 1."""
+        return self.rates / self.rates[-1]
+
+    def __repr__(self) -> str:
+        r = ", ".join(f"{x:.4g}" for x in self.rates)
+        f = ", ".join(f"{x:.4g}" for x in self.frequencies)
+        return f"SubstitutionModel(rates=[{r}], freqs=[{f}])"
+
+
+# ---------------------------------------------------------------------- #
+# Named DNA models
+# ---------------------------------------------------------------------- #
+def GTR(rates, frequencies) -> SubstitutionModel:
+    """General Time Reversible model (6 rates, 4 free frequencies)."""
+    return SubstitutionModel(np.asarray(rates, dtype=float), frequencies)
+
+
+def JC69() -> SubstitutionModel:
+    """Jukes–Cantor 1969: equal rates, uniform frequencies."""
+    return SubstitutionModel(np.ones(6), np.full(4, 0.25))
+
+
+def K80(kappa: float = 2.0) -> SubstitutionModel:
+    """Kimura 1980: transition/transversion ratio κ, uniform frequencies."""
+    if kappa <= 0:
+        raise ModelError("kappa must be positive")
+    # order AC, AG, AT, CG, CT, GT — AG and CT are transitions
+    return SubstitutionModel(
+        np.array([1.0, kappa, 1.0, 1.0, kappa, 1.0]), np.full(4, 0.25)
+    )
+
+
+def F81(frequencies) -> SubstitutionModel:
+    """Felsenstein 1981: equal exchangeabilities, free frequencies."""
+    return SubstitutionModel(np.ones(6), frequencies)
+
+
+def HKY85(kappa: float, frequencies) -> SubstitutionModel:
+    """Hasegawa–Kishino–Yano 1985: κ plus free frequencies."""
+    if kappa <= 0:
+        raise ModelError("kappa must be positive")
+    return SubstitutionModel(
+        np.array([1.0, kappa, 1.0, 1.0, kappa, 1.0]), frequencies
+    )

@@ -1,0 +1,139 @@
+"""The virtual-MPI communicator interface.
+
+A deliberately small subset of MPI, sufficient for both parallelization
+schemes of the paper:
+
+* fork-join (RAxML-Light) needs ``bcast`` + ``reduce`` (master-rooted);
+* de-centralized (ExaML) needs ``allreduce`` (and a couple of point-to-point
+  calls for the initial data distribution).
+
+Every call takes a ``tag`` labelling the *purpose* of the message — the
+categories of the paper's Table I — so backends can account communication
+bytes per category exactly.
+
+Reductions over float arrays are performed in **fixed rank order**.  The
+paper stresses that ``MPI_Allreduce`` must yield bitwise-identical values
+on every rank, otherwise the replicated search algorithms diverge; rank-
+ordered summation gives us that property on every backend.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+import numpy as np
+
+from repro.errors import CommError
+
+__all__ = ["ReduceOp", "Comm", "payload_nbytes"]
+
+
+class ReduceOp(enum.Enum):
+    SUM = "sum"
+    MAX = "max"
+    MIN = "min"
+
+
+def apply_reduce(op: ReduceOp, values: list[Any]) -> Any:
+    """Combine per-rank contributions in rank order (deterministic)."""
+    if not values:
+        raise CommError("nothing to reduce")
+    first = values[0]
+    if isinstance(first, np.ndarray):
+        acc = first.astype(np.float64, copy=True)
+        for val in values[1:]:
+            if op is ReduceOp.SUM:
+                acc += val
+            elif op is ReduceOp.MAX:
+                np.maximum(acc, val, out=acc)
+            else:
+                np.minimum(acc, val, out=acc)
+        return acc
+    acc = first
+    for val in values[1:]:
+        if op is ReduceOp.SUM:
+            acc = acc + val
+        elif op is ReduceOp.MAX:
+            acc = max(acc, val)
+        else:
+            acc = min(acc, val)
+    return acc
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Approximate on-wire size of a payload in bytes.
+
+    NumPy arrays count their raw buffer; scalars count 8; structured
+    payloads (tuples/lists/dicts) count the sum of their parts plus a
+    small framing overhead — matching how the paper counts, e.g., an
+    allreduce of three doubles as 24 bytes.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bool, int, float, np.floating, np.integer)):
+        return 8
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode())
+    if isinstance(obj, (tuple, list)):
+        return 4 + sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return 4 + sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items()
+        )
+    if hasattr(obj, "nbytes_wire"):
+        return int(obj.nbytes_wire())
+    # fallback: pickle size
+    import pickle
+
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+class Comm:
+    """Abstract communicator.  Ranks are ``0 .. size-1``."""
+
+    @property
+    def rank(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def bcast(self, obj: Any, root: int = 0, tag: str = "generic") -> Any:
+        """Broadcast ``obj`` from ``root``; every rank returns the object."""
+        raise NotImplementedError
+
+    def reduce(
+        self, obj: Any, op: ReduceOp = ReduceOp.SUM, root: int = 0,
+        tag: str = "generic",
+    ) -> Any:
+        """Reduce to ``root``; non-root ranks return ``None``."""
+        raise NotImplementedError
+
+    def allreduce(
+        self, obj: Any, op: ReduceOp = ReduceOp.SUM, tag: str = "generic"
+    ) -> Any:
+        """Reduce and distribute the result to all ranks."""
+        raise NotImplementedError
+
+    def barrier(self, tag: str = "generic") -> None:
+        raise NotImplementedError
+
+    def gather(self, obj: Any, root: int = 0, tag: str = "generic") -> list[Any] | None:
+        """Gather per-rank objects at ``root`` (rank order)."""
+        raise NotImplementedError
+
+    def scatter(self, objs: list[Any] | None, root: int = 0, tag: str = "generic") -> Any:
+        """Scatter a list (one element per rank) from ``root``."""
+        raise NotImplementedError
+
+    def send(self, obj: Any, dest: int, tag: str = "generic") -> None:
+        raise NotImplementedError
+
+    def recv(self, source: int, tag: str = "generic") -> Any:
+        raise NotImplementedError

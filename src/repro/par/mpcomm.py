@@ -1,0 +1,214 @@
+"""Real multi-process communicator (the "actually parallel" backend).
+
+``run_mpi(n, fn, payloads)`` forks ``n`` OS processes connected by a full
+mesh of pipes and runs ``fn(comm, payload)`` on every rank, mpiexec-style.
+Collectives are implemented rank-rooted with **rank-ordered reductions**,
+so results are bitwise deterministic — the reproducibility property the
+paper requires of ``MPI_Allreduce`` (Section III-B).
+
+This backend exists to prove the engines genuinely run distributed (the
+consistency tests execute both schemes on 2–4 ranks and compare against
+the sequential reference); the performance model uses the lock-step
+simulator instead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+from collections import defaultdict
+from typing import Any, Callable
+
+from repro.errors import CommError
+from repro.par.comm import Comm, ReduceOp, apply_reduce, payload_nbytes
+
+__all__ = ["MPComm", "run_mpi"]
+
+
+class MPComm(Comm):
+    """Mesh-of-pipes communicator for one rank."""
+
+    def __init__(self, rank: int, size: int, conns: dict[int, Any]) -> None:
+        self._rank = rank
+        self._size = size
+        self._conns = conns
+        self.bytes_by_tag: dict[str, int] = defaultdict(int)
+        self.calls_by_tag: dict[str, int] = defaultdict(int)
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def _account(self, obj: Any, tag: str) -> None:
+        self.bytes_by_tag[tag] += payload_nbytes(obj)
+        self.calls_by_tag[tag] += 1
+
+    # -- point to point -------------------------------------------------- #
+    def send(self, obj: Any, dest: int, tag: str = "generic") -> None:
+        if dest == self._rank:
+            raise CommError("send to self")
+        self._account(obj, tag)
+        self._conns[dest].send(obj)
+
+    def recv(self, source: int, tag: str = "generic") -> Any:
+        if source == self._rank:
+            raise CommError("recv from self")
+        return self._conns[source].recv()
+
+    # -- collectives ------------------------------------------------------ #
+    def bcast(self, obj: Any, root: int = 0, tag: str = "generic") -> Any:
+        if self._rank == root:
+            self._account(obj, tag)
+            for r in range(self._size):
+                if r != root:
+                    self._conns[r].send(obj)
+            return obj
+        return self._conns[root].recv()
+
+    def reduce(
+        self, obj: Any, op: ReduceOp = ReduceOp.SUM, root: int = 0,
+        tag: str = "generic",
+    ) -> Any:
+        if self._rank == root:
+            contributions = []
+            for r in range(self._size):
+                contributions.append(obj if r == root else self._conns[r].recv())
+            self._account(obj, tag)
+            return apply_reduce(op, contributions)
+        self._account(obj, tag)
+        self._conns[root].send(obj)
+        return None
+
+    def allreduce(self, obj: Any, op: ReduceOp = ReduceOp.SUM, tag: str = "generic") -> Any:
+        result = self.reduce(obj, op, root=0, tag=tag)
+        return self.bcast(result, root=0, tag=tag)
+
+    def barrier(self, tag: str = "generic") -> None:
+        self.calls_by_tag[tag] += 1
+        if self._rank == 0:
+            for r in range(1, self._size):
+                self._conns[r].recv()
+            for r in range(1, self._size):
+                self._conns[r].send(("__barrier__",))
+        else:
+            self._conns[0].send(("__barrier__",))
+            self._conns[0].recv()
+
+    def gather(self, obj: Any, root: int = 0, tag: str = "generic") -> list[Any] | None:
+        if self._rank == root:
+            out = []
+            for r in range(self._size):
+                out.append(obj if r == root else self._conns[r].recv())
+            return out
+        self._account(obj, tag)
+        self._conns[root].send(obj)
+        return None
+
+    def scatter(self, objs: list[Any] | None, root: int = 0, tag: str = "generic") -> Any:
+        if self._rank == root:
+            if objs is None or len(objs) != self._size:
+                raise CommError("scatter needs one element per rank")
+            for r in range(self._size):
+                if r != root:
+                    self._account(objs[r], tag)
+                    self._conns[r].send(objs[r])
+            return objs[root]
+        return self._conns[root].recv()
+
+
+def _child(
+    rank: int,
+    size: int,
+    conns: dict[int, Any],
+    result_conn: Any,
+    fn: Callable,
+    payload: Any,
+) -> None:
+    comm = MPComm(rank, size, conns)
+    try:
+        result = fn(comm, payload)
+        result_conn.send(("ok", result, dict(comm.bytes_by_tag)))
+    except BaseException:
+        result_conn.send(("error", traceback.format_exc(), {}))
+    finally:
+        result_conn.close()
+
+
+def run_mpi(
+    n_ranks: int,
+    fn: Callable[[Comm, Any], Any],
+    payloads: list[Any] | None = None,
+    timeout: float = 600.0,
+) -> list[Any]:
+    """Run ``fn(comm, payloads[rank])`` on ``n_ranks`` forked processes.
+
+    Returns the per-rank results in rank order.  Any rank raising makes
+    the whole call raise :class:`CommError` with the child traceback.
+    """
+    if n_ranks < 1:
+        raise CommError("need at least one rank")
+    if payloads is None:
+        payloads = [None] * n_ranks
+    if len(payloads) != n_ranks:
+        raise CommError("one payload per rank required")
+    if n_ranks == 1:
+        from repro.par.seqcomm import SequentialComm
+
+        return [fn(SequentialComm(), payloads[0])]
+
+    ctx = mp.get_context("fork")
+    # full mesh of duplex pipes
+    ends: dict[int, dict[int, Any]] = {r: {} for r in range(n_ranks)}
+    for i in range(n_ranks):
+        for j in range(i + 1, n_ranks):
+            a, b = ctx.Pipe(duplex=True)
+            ends[i][j] = a
+            ends[j][i] = b
+    result_pipes = [ctx.Pipe(duplex=False) for _ in range(n_ranks)]
+    procs = []
+    for r in range(n_ranks):
+        proc = ctx.Process(
+            target=_child,
+            args=(r, n_ranks, ends[r], result_pipes[r][1], fn, payloads[r]),
+        )
+        proc.start()
+        procs.append(proc)
+    results: list[Any] = [None] * n_ranks
+    errors: list[str] = []
+    try:
+        # Poll all ranks round-robin so one rank's early crash surfaces
+        # immediately instead of deadlocking its peers until the timeout.
+        import time as _time
+
+        pending = set(range(n_ranks))
+        deadline = _time.monotonic() + timeout
+        while pending:
+            progressed = False
+            for r in sorted(pending):
+                recv_end = result_pipes[r][0]
+                if recv_end.poll(0.05):
+                    status, value, _bytes = recv_end.recv()
+                    pending.discard(r)
+                    progressed = True
+                    if status == "ok":
+                        results[r] = value
+                    else:
+                        errors.append(f"rank {r}:\n{value}")
+            if errors:
+                break  # peers of a crashed rank may hang; bail out now
+            if not progressed and _time.monotonic() > deadline:
+                errors.append(f"ranks {sorted(pending)}: timeout after {timeout}s")
+                break
+    finally:
+        for proc in procs:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+    if errors:
+        raise CommError("distributed run failed:\n" + "\n".join(errors))
+    return results

@@ -1,0 +1,149 @@
+"""Analytic cost models for MPI collectives.
+
+Hierarchical α–β models: a collective over ``P`` ranks packed onto ``N``
+nodes runs an intra-node (shared-memory) stage over up to
+``cores_per_node`` ranks and an inter-node stage over ``N`` nodes.
+
+* broadcast / reduce: binomial tree, ``⌈log₂ n⌉`` rounds of ``α + mβ``;
+* allreduce: recursive doubling for small messages
+  (``⌈log₂ n⌉ (α + mβ + mγ)``), Rabenseifner's reduce-scatter +
+  allgather (``2 log₂ n · α + 2m β + m γ``) for large ones — the standard
+  mvapich2 algorithm switch;
+* barrier: ``⌈log₂ n⌉ α``.
+
+These are the textbook models (Thakur/Rabenseifner/Gropp, IJHPCA 2005) and
+they capture exactly the effect the paper exploits: per-region cost has a
+latency floor *plus a bandwidth term proportional to message size*, so
+shrinking fork-join's broadcast payloads (traversal descriptors, parameter
+arrays) is worth more than shaving the region count alone.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ReproError
+from repro.par.machine import MachineSpec
+
+__all__ = [
+    "bcast_time",
+    "reduce_time",
+    "allreduce_time",
+    "barrier_time",
+    "collective_time",
+]
+
+#: Message size (bytes) where allreduce switches from recursive doubling
+#: to Rabenseifner (mvapich2 switches in this region).
+_ALLREDUCE_SWITCH = 16 * 1024
+
+
+def _stage_rounds(n: int) -> int:
+    return int(math.ceil(math.log2(n))) if n > 1 else 0
+
+
+def _split(machine: MachineSpec, n_ranks: int) -> tuple[int, int]:
+    """(intra-node group size, number of nodes) for densely packed ranks."""
+    if n_ranks < 1:
+        raise ReproError("need at least one rank")
+    n_nodes = machine.nodes_for_ranks(n_ranks)
+    intra = min(n_ranks, machine.cores_per_node)
+    return intra, n_nodes
+
+
+def bcast_time(machine: MachineSpec, n_ranks: int, nbytes: float) -> float:
+    """Binomial-tree broadcast: inter-node stage then intra-node stage."""
+    if nbytes < 0:
+        raise ReproError("negative message size")
+    intra, nodes = _split(machine, n_ranks)
+    t = _stage_rounds(nodes) * (
+        machine.inter_latency_s + nbytes / machine.inter_bandwidth_bps
+    )
+    t += _stage_rounds(intra) * (
+        machine.intra_latency_s + nbytes / machine.intra_bandwidth_bps
+    )
+    return t
+
+
+def reduce_time(machine: MachineSpec, n_ranks: int, nbytes: float) -> float:
+    """Binomial-tree reduce (adds the combine cost per hop)."""
+    if nbytes < 0:
+        raise ReproError("negative message size")
+    intra, nodes = _split(machine, n_ranks)
+    gamma = machine.reduce_flop_s_per_byte
+    t = _stage_rounds(intra) * (
+        machine.intra_latency_s
+        + nbytes / machine.intra_bandwidth_bps
+        + nbytes * gamma
+    )
+    t += _stage_rounds(nodes) * (
+        machine.inter_latency_s
+        + nbytes / machine.inter_bandwidth_bps
+        + nbytes * gamma
+    )
+    return t
+
+
+def _allreduce_stage(
+    n: int, nbytes: float, latency: float, bandwidth: float, gamma: float
+) -> float:
+    rounds = _stage_rounds(n)
+    if rounds == 0:
+        return 0.0
+    if nbytes <= _ALLREDUCE_SWITCH:
+        # recursive doubling
+        return rounds * (latency + nbytes / bandwidth + nbytes * gamma)
+    # Rabenseifner: reduce-scatter + allgather
+    return (
+        2 * rounds * latency
+        + 2 * nbytes / bandwidth * (n - 1) / n
+        + nbytes * gamma * (n - 1) / n
+    )
+
+
+def allreduce_time(machine: MachineSpec, n_ranks: int, nbytes: float) -> float:
+    """Hierarchical allreduce: intra-node reduce, inter-node allreduce,
+    intra-node broadcast."""
+    if nbytes < 0:
+        raise ReproError("negative message size")
+    intra, nodes = _split(machine, n_ranks)
+    gamma = machine.reduce_flop_s_per_byte
+    t = _stage_rounds(intra) * (
+        machine.intra_latency_s
+        + nbytes / machine.intra_bandwidth_bps
+        + nbytes * gamma
+    )
+    t += _allreduce_stage(
+        nodes, nbytes, machine.inter_latency_s, machine.inter_bandwidth_bps, gamma
+    )
+    t += _stage_rounds(intra) * (
+        machine.intra_latency_s + nbytes / machine.intra_bandwidth_bps
+    )
+    return t
+
+
+def barrier_time(machine: MachineSpec, n_ranks: int) -> float:
+    """Dissemination barrier."""
+    intra, nodes = _split(machine, n_ranks)
+    return (
+        _stage_rounds(intra) * machine.intra_latency_s
+        + _stage_rounds(nodes) * machine.inter_latency_s
+    )
+
+
+def collective_time(
+    machine: MachineSpec,
+    n_ranks: int,
+    kind: str,
+    nbytes: float = 0.0,
+) -> float:
+    """Dispatch by collective name (used by the runtime synthesizer)."""
+    if kind == "bcast":
+        return bcast_time(machine, n_ranks, nbytes)
+    if kind == "reduce":
+        return reduce_time(machine, n_ranks, nbytes)
+    if kind == "allreduce":
+        return allreduce_time(machine, n_ranks, nbytes)
+    if kind == "barrier":
+        return barrier_time(machine, n_ranks)
+    raise ReproError(f"unknown collective {kind!r}")

@@ -1,0 +1,66 @@
+"""Single-rank communicator (the sequential reference).
+
+All collectives are identities; byte counters still run so sequential
+runs can sanity-check the accounting code paths.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from repro.errors import CommError
+from repro.par.comm import Comm, ReduceOp, apply_reduce, payload_nbytes
+
+__all__ = ["SequentialComm"]
+
+
+class SequentialComm(Comm):
+    """A ``size == 1`` communicator; useful as the no-parallelism baseline."""
+
+    def __init__(self) -> None:
+        self.bytes_by_tag: dict[str, int] = defaultdict(int)
+        self.calls_by_tag: dict[str, int] = defaultdict(int)
+
+    @property
+    def rank(self) -> int:
+        return 0
+
+    @property
+    def size(self) -> int:
+        return 1
+
+    def _account(self, obj: Any, tag: str) -> None:
+        self.bytes_by_tag[tag] += payload_nbytes(obj)
+        self.calls_by_tag[tag] += 1
+
+    def bcast(self, obj: Any, root: int = 0, tag: str = "generic") -> Any:
+        self._account(obj, tag)
+        return obj
+
+    def reduce(self, obj, op: ReduceOp = ReduceOp.SUM, root: int = 0, tag: str = "generic"):
+        self._account(obj, tag)
+        return apply_reduce(op, [obj])
+
+    def allreduce(self, obj, op: ReduceOp = ReduceOp.SUM, tag: str = "generic"):
+        self._account(obj, tag)
+        return apply_reduce(op, [obj])
+
+    def barrier(self, tag: str = "generic") -> None:
+        self.calls_by_tag[tag] += 1
+
+    def gather(self, obj, root: int = 0, tag: str = "generic"):
+        self._account(obj, tag)
+        return [obj]
+
+    def scatter(self, objs, root: int = 0, tag: str = "generic"):
+        if objs is None or len(objs) != 1:
+            raise CommError("scatter needs exactly one element on one rank")
+        self._account(objs[0], tag)
+        return objs[0]
+
+    def send(self, obj, dest: int, tag: str = "generic") -> None:
+        raise CommError("point-to-point send to self is not supported")
+
+    def recv(self, source: int, tag: str = "generic"):
+        raise CommError("point-to-point recv from self is not supported")

@@ -1,0 +1,21 @@
+"""Tree search: RAxML-style lazy-SPR hill climbing with interleaved
+branch-length and model-parameter optimization, plus checkpointing."""
+
+from repro.search.search import SearchConfig, SearchResult, hill_climb
+from repro.search.spr import spr_round
+from repro.search.nni import nni_round
+from repro.search.bootstrap import bootstrap_support, BootstrapResult
+from repro.search.checkpoint import save_checkpoint, load_checkpoint, restore_into
+
+__all__ = [
+    "SearchConfig",
+    "SearchResult",
+    "hill_climb",
+    "spr_round",
+    "nni_round",
+    "bootstrap_support",
+    "BootstrapResult",
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_into",
+]

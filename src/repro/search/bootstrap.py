@@ -1,0 +1,114 @@
+"""Nonparametric bootstrap support values.
+
+The standard companion analysis to any ML tree search (and RAxML's other
+headline feature): resample alignment columns with replacement, re-run
+the search on each pseudo-replicate, and report for every bipartition of
+the best tree the fraction of replicates containing it.
+
+With compressed site patterns a bootstrap replicate is just a *reweighting*
+— draw the per-pattern multiplicities from a multinomial over the original
+weights — so replicates share all pattern data and tip vectors with the
+original analysis (the same trick production codes use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.likelihood.backend import SequentialBackend
+from repro.likelihood.partitioned import PartitionData, PartitionedLikelihood
+from repro.search.search import SearchConfig, hill_climb
+from repro.tree.distances import bipartitions
+from repro.tree.topology import Tree
+
+__all__ = ["BootstrapResult", "bootstrap_weights", "bootstrap_support"]
+
+
+@dataclass
+class BootstrapResult:
+    """Support per bipartition of the reference tree."""
+
+    n_replicates: int
+    support: dict[frozenset, float]
+
+    def min_support(self) -> float:
+        return min(self.support.values()) if self.support else 1.0
+
+    def format(self) -> str:
+        lines = [f"bootstrap support ({self.n_replicates} replicates):"]
+        for split, value in sorted(
+            self.support.items(), key=lambda kv: -kv[1]
+        ):
+            members = ",".join(sorted(split))
+            lines.append(f"  {value * 100:5.1f}%  {{{members}}}")
+        return "\n".join(lines)
+
+
+def bootstrap_weights(
+    weights: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Multinomial resample of pattern multiplicities.
+
+    The total (weighted) site count is preserved in expectation and the
+    draw is over the normalized original weights — equivalent to sampling
+    alignment columns with replacement.  Patterns drawn zero times get an
+    ε weight so vector shapes stay fixed (they contribute ~nothing).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    total = int(round(weights.sum()))
+    if total < 1:
+        raise SearchError("cannot bootstrap an empty alignment")
+    counts = rng.multinomial(total, weights / weights.sum()).astype(np.float64)
+    counts[counts == 0.0] = 1.0e-9
+    return counts
+
+
+def _replicate_parts(
+    parts: list[PartitionData], rng: np.random.Generator
+) -> list[PartitionData]:
+    out = []
+    for part in parts:
+        rep = part.subset(np.arange(part.n_patterns))
+        rep.weights = bootstrap_weights(part.weights, rng)
+        out.append(rep)
+    return out
+
+
+def bootstrap_support(
+    lik: PartitionedLikelihood,
+    reference_tree: Tree,
+    n_replicates: int = 20,
+    config: SearchConfig | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> BootstrapResult:
+    """Bootstrap the dataset behind ``lik`` and score ``reference_tree``.
+
+    Each replicate reweights the patterns, restarts the search from the
+    reference topology (the common "rapid bootstrap"-style shortcut) and
+    records which reference bipartitions survive.
+    """
+    if n_replicates < 1:
+        raise SearchError("need at least one replicate")
+    rng = np.random.default_rng(rng)
+    config = config or SearchConfig(max_iterations=2, radius_max=2,
+                                    model_opt=False)
+    reference_splits = bipartitions(reference_tree)
+    hits = {split: 0 for split in reference_splits}
+
+    for _ in range(n_replicates):
+        rep_parts = _replicate_parts(lik.parts, rng)
+        rep_tree = reference_tree.copy()
+        rep_lik = PartitionedLikelihood(rep_tree, rep_parts, lik.taxa)
+        hill_climb(SequentialBackend(rep_lik), config)
+        rep_splits = bipartitions(rep_tree)
+        for split in reference_splits:
+            if split in rep_splits:
+                hits[split] += 1
+
+    return BootstrapResult(
+        n_replicates=n_replicates,
+        support={s: h / n_replicates for s, h in hits.items()},
+    )

@@ -1,0 +1,46 @@
+"""Nearest-neighbor-interchange rounds.
+
+NNI is the cheap local polish the library offers alongside SPR: every
+inner edge has two alternative topologies; each is scored with a short
+branch re-optimization and accepted greedily if it improves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.likelihood.optimize_branch import optimize_branch
+from repro.tree.rearrange import nni_swap
+
+__all__ = ["NNIStats", "nni_round"]
+
+
+@dataclass
+class NNIStats:
+    edges_tried: int = 0
+    swaps_accepted: int = 0
+    best_logl: float = float("-inf")
+
+
+def nni_round(backend, current_logl: float, accept_epsilon: float = 1.0e-3) -> NNIStats:
+    """One NNI sweep over all inner edges (greedy, deterministic order)."""
+    tree = backend.tree
+    stats = NNIStats(best_logl=current_logl)
+    inner_edges = [
+        (u.id, v.id) for u, v in tree.edges() if not u.is_leaf and not v.is_leaf
+    ]
+    for uid, vid in inner_edges:
+        u, v = tree.node(uid), tree.node(vid)
+        if not tree.has_edge(u, v):
+            continue  # a previously accepted swap rewired this edge
+        stats.edges_tried += 1
+        for variant in (0, 1):
+            undo = nni_swap(tree, u, v, variant)
+            optimize_branch(backend, u, v)
+            trial, _ = backend.evaluate(u, v)
+            if trial > stats.best_logl + accept_epsilon:
+                stats.best_logl = trial
+                stats.swaps_accepted += 1
+                break  # keep this swap; re-examine remaining edges later
+            undo()
+    return stats

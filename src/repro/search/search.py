@@ -1,0 +1,156 @@
+"""The hill-climbing search driver.
+
+Implements the RAxML search skeleton that RAxML-Light and ExaML share
+(the paper stresses both codes run *exactly the same* algorithm):
+
+1. optimize branch lengths and model parameters on the starting tree;
+2. iterate lazy-SPR rounds with an escalating rearrangement radius,
+   re-smoothing branches and re-optimizing the model between rounds;
+3. stop when a round improves the log likelihood by less than ``epsilon``
+   at the maximum radius (or the iteration cap is hit).
+
+The driver is engine-agnostic: give it any
+:class:`~repro.likelihood.backend.LikelihoodBackend` and it will emit the
+same deterministic sequence of likelihood operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SearchError
+from repro.likelihood.optimize_branch import smooth_all_branches
+from repro.likelihood.optimize_model import optimize_model
+from repro.search.spr import SPRStats, spr_round
+
+__all__ = ["SearchConfig", "SearchResult", "hill_climb"]
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Tuning knobs of the hill climber.
+
+    The defaults are scaled-down analogues of RAxML's production settings
+    so that test and benchmark runs finish in reasonable time; the
+    algorithmic structure (and therefore the parallel-region stream) is
+    unchanged.
+    """
+
+    epsilon: float = 0.1
+    max_iterations: int = 20
+    radius_min: int = 1
+    radius_max: int = 5
+    branch_passes: int = 1
+    model_opt: bool = True
+    optimize_gtr: bool = False
+    alpha_iterations: int = 16
+    gtr_iterations: int = 10
+    psr_candidates: int = 12
+    accept_epsilon: float = 1.0e-3
+    lazy_newton_iters: int = 8
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise SearchError("epsilon must be positive")
+        if self.radius_min < 1 or self.radius_max < self.radius_min:
+            raise SearchError("invalid radius schedule")
+        if self.max_iterations < 1:
+            raise SearchError("need at least one iteration")
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a hill-climbing run."""
+
+    logl: float
+    iterations: int
+    moves_accepted: int
+    insertions_tried: int
+    converged: bool
+    logl_trace: list[float] = field(default_factory=list)
+
+
+def hill_climb(backend, config: SearchConfig | None = None) -> SearchResult:
+    """Run the full search on ``backend``; returns a :class:`SearchResult`.
+
+    The backend's tree is modified in place (it ends as the best tree
+    found).
+    """
+    config = config or SearchConfig()
+    tree = backend.tree
+
+    def anchor():
+        # SPR moves may delete whichever edge we evaluated at last time;
+        # re-anchor at the (deterministic) first edge of the current tree.
+        return tree.edges()[0]
+
+    u, v = anchor()
+
+    smooth_all_branches(backend, passes=max(2, config.branch_passes))
+    logl, _ = backend.evaluate(u, v)
+    if config.model_opt:
+        logl = optimize_model(
+            backend,
+            u,
+            v,
+            alpha_iterations=config.alpha_iterations,
+            gtr_iterations=config.gtr_iterations,
+            psr_candidates=config.psr_candidates,
+            optimize_rates=config.optimize_gtr,
+        )
+
+    trace = [logl]
+    radius = config.radius_min
+    moves_total = 0
+    insertions_total = 0
+    converged = False
+    iterations = 0
+
+    for iterations in range(1, config.max_iterations + 1):
+        stats: SPRStats = spr_round(
+            backend,
+            radius,
+            logl,
+            accept_epsilon=config.accept_epsilon,
+            lazy_newton_iters=config.lazy_newton_iters,
+        )
+        moves_total += stats.moves_accepted
+        insertions_total += stats.insertions_tried
+
+        smooth_all_branches(backend, passes=config.branch_passes)
+        u, v = anchor()
+        new_logl, _ = backend.evaluate(u, v)
+        if config.model_opt:
+            new_logl = optimize_model(
+                backend,
+                u,
+                v,
+                alpha_iterations=config.alpha_iterations,
+                gtr_iterations=config.gtr_iterations,
+                psr_candidates=config.psr_candidates,
+                optimize_rates=config.optimize_gtr,
+            )
+        improvement = new_logl - logl
+        logl = max(logl, new_logl)
+        trace.append(logl)
+
+        if improvement < config.epsilon and stats.moves_accepted == 0:
+            if radius >= config.radius_max:
+                converged = True
+                break
+            radius = min(radius * 2, config.radius_max)
+        else:
+            # RAxML-style escalation: widen the rearrangement radius as the
+            # easy local moves dry up, instead of looping forever at the
+            # smallest radius (which strands the search in shallow optima)
+            radius = min(radius + 1, config.radius_max)
+
+    backend.finish()
+    return SearchResult(
+        logl=logl,
+        iterations=iterations,
+        moves_accepted=moves_total,
+        insertions_tried=insertions_total,
+        converged=converged,
+        logl_trace=trace,
+    )

@@ -1,0 +1,119 @@
+"""Lazy SPR rounds (the core move of the RAxML search algorithm).
+
+For every prunable subtree the round tries re-insertions into all branches
+within the rearrangement radius of the pruning point.  Each trial is
+scored *lazily*: only the insertion branch is re-optimized (a short Newton
+run, one parallel region per iteration) before a single evaluation — full
+branch re-optimization happens only when a move is accepted.  This is the
+classical RAxML economy: thousands of cheap trials, few expensive commits.
+
+Both engines execute this exact code; determinism (sorted candidate
+enumeration, fixed tolerance) keeps decentralized replicas in lock step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TreeError
+from repro.likelihood.optimize_branch import optimize_branch
+from repro.tree.rearrange import SPRContext, edges_within_radius
+from repro.tree.topology import Node
+
+__all__ = ["SPRStats", "spr_round"]
+
+
+@dataclass
+class SPRStats:
+    """Outcome of one SPR round."""
+
+    subtrees_tried: int = 0
+    insertions_tried: int = 0
+    moves_accepted: int = 0
+    best_logl: float = float("-inf")
+
+
+def _prunable_subtrees(tree) -> list[tuple[Node, Node]]:
+    """Deterministic list of (junction, subtree_root) candidates."""
+    out = []
+    for u, v in tree.edges():
+        # subtree rooted at u pruned from junction v, and vice versa
+        if not v.is_leaf:
+            out.append((v, u))
+        if not u.is_leaf:
+            out.append((u, v))
+    return out
+
+
+def spr_round(
+    backend,
+    radius: int,
+    current_logl: float,
+    accept_epsilon: float = 1.0e-3,
+    lazy_newton_iters: int = 8,
+) -> SPRStats:
+    """One pass of lazy SPR over all subtrees; accepts improving moves
+    greedily.  Returns statistics including the final log likelihood."""
+    if radius < 1:
+        raise TreeError("SPR radius must be >= 1")
+    tree = backend.tree
+    stats = SPRStats(best_logl=current_logl)
+
+    for junction_id, root_id in [
+        (j.id, r.id) for j, r in _prunable_subtrees(tree)
+    ]:
+        junction = tree.node(junction_id)
+        subtree_root = tree.node(root_id)
+        try:
+            ctx = SPRContext(tree, junction, subtree_root)
+        except TreeError:
+            continue  # 4-taxon corner cases
+        stats.subtrees_tried += 1
+        healed = ctx.healed_edge
+        original_insertion = tree.edge_length(junction, subtree_root).copy()
+
+        best_target: tuple[int, int] | None = None
+        best_trial_logl = stats.best_logl
+        healed_key = (min(healed[0].id, healed[1].id), max(healed[0].id, healed[1].id))
+        targets = edges_within_radius(tree, healed, radius, exclude=junction)
+        for e1, e2 in targets:
+            if (min(e1.id, e2.id), max(e1.id, e2.id)) == healed_key:
+                continue  # re-inserting into the healed edge is a no-op move
+            ctx.regraft(e1, e2)
+            stats.insertions_tried += 1
+            # lazy scoring: optimize only the insertion branch, then evaluate
+            optimize_branch(backend, junction, subtree_root,
+                            max_iter=lazy_newton_iters)
+            trial_logl, _ = backend.evaluate(junction, subtree_root)
+            if trial_logl > best_trial_logl + accept_epsilon:
+                best_trial_logl = trial_logl
+                best_target = (e1.id, e2.id)
+            ctx.undo_regraft()
+            tree.set_edge_length(junction, subtree_root, original_insertion)
+
+        if best_target is None:
+            ctx.restore()
+            continue
+        # commit the best insertion and re-optimize the branches it touches
+        e1, e2 = tree.node(best_target[0]), tree.node(best_target[1])
+        ctx.regraft(e1, e2)
+        ctx.commit()
+        for a, b in (
+            (junction, subtree_root),
+            (junction, e1),
+            (junction, e2),
+        ):
+            optimize_branch(backend, a, b)
+        new_logl, _ = backend.evaluate(junction, subtree_root)
+        if new_logl + accept_epsilon < stats.best_logl:
+            # full optimization disagreed with the lazy score: revert
+            undo = SPRContext(tree, junction, subtree_root)
+            undo.regraft(tree.node(healed[0].id), tree.node(healed[1].id))
+            undo.commit()
+            tree.set_edge_length(junction, subtree_root, original_insertion)
+            reverted_logl, _ = backend.evaluate(junction, subtree_root)
+            stats.best_logl = max(stats.best_logl, reverted_logl)
+            continue
+        stats.best_logl = new_logl
+        stats.moves_accepted += 1
+    return stats

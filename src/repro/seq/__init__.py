@@ -1,0 +1,16 @@
+"""Sequence substrate: alphabets, alignments, site-pattern compression,
+FASTA/PHYLIP I/O, partition schemes and sequence simulation."""
+
+from repro.seq.alphabet import DNA, AMINO_ACIDS, Alphabet
+from repro.seq.alignment import Alignment, PatternAlignment
+from repro.seq.partitions import Partition, PartitionScheme
+
+__all__ = [
+    "DNA",
+    "AMINO_ACIDS",
+    "Alphabet",
+    "Alignment",
+    "PatternAlignment",
+    "Partition",
+    "PartitionScheme",
+]

@@ -1,0 +1,80 @@
+"""Binary alignment format.
+
+The paper's future-work section mentions a binary data format for storing
+input alignments (to accelerate start-up and data redistribution via
+parallel I/O).  This module implements it: a small header, the taxon
+table, and the bit-mask matrix packed two DNA characters per byte.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import AlignmentError
+from repro.seq.alignment import Alignment
+from repro.seq.alphabet import DNA
+
+__all__ = ["write_binary_alignment", "read_binary_alignment", "MAGIC"]
+
+MAGIC = b"RBA1"  # Repro Binary Alignment, version 1
+
+
+def write_binary_alignment(alignment: Alignment, path: str | Path) -> int:
+    """Serialize an alignment; returns the number of bytes written."""
+    if alignment.alphabet.n_states != 4:
+        raise AlignmentError("the binary format stores DNA (4-bit codes)")
+    buf = io.BytesIO()
+    buf.write(MAGIC)
+    buf.write(struct.pack("<II", alignment.n_taxa, alignment.n_sites))
+    for taxon in alignment.taxa:
+        raw = taxon.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise AlignmentError(f"taxon name too long: {taxon[:32]}…")
+        buf.write(struct.pack("<H", len(raw)))
+        buf.write(raw)
+    codes = alignment.data.astype(np.uint8)  # masks are 1..15
+    n_sites = alignment.n_sites
+    if n_sites % 2:
+        codes = np.concatenate(
+            [codes, np.zeros((alignment.n_taxa, 1), dtype=np.uint8)], axis=1
+        )
+    packed = (codes[:, 0::2] << 4) | codes[:, 1::2]
+    buf.write(packed.tobytes())
+    data = buf.getvalue()
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def read_binary_alignment(path: str | Path) -> Alignment:
+    """Read an alignment written by :func:`write_binary_alignment`."""
+    raw = Path(path).read_bytes()
+    if raw[:4] != MAGIC:
+        raise AlignmentError("not a repro binary alignment (bad magic)")
+    off = 4
+    n_taxa, n_sites = struct.unpack_from("<II", raw, off)
+    off += 8
+    taxa = []
+    for _ in range(n_taxa):
+        (ln,) = struct.unpack_from("<H", raw, off)
+        off += 2
+        taxa.append(raw[off : off + ln].decode("utf-8"))
+        off += ln
+    padded = n_sites + (n_sites % 2)
+    expected = n_taxa * padded // 2
+    body = np.frombuffer(raw, dtype=np.uint8, offset=off)
+    if body.size != expected:
+        raise AlignmentError(
+            f"truncated binary alignment: {body.size} != {expected} bytes"
+        )
+    packed = body.reshape(n_taxa, padded // 2)
+    codes = np.empty((n_taxa, padded), dtype=np.uint8)
+    codes[:, 0::2] = packed >> 4
+    codes[:, 1::2] = packed & 0x0F
+    codes = codes[:, :n_sites]
+    if np.any(codes == 0):
+        raise AlignmentError("corrupt binary alignment: zero state code")
+    return Alignment(taxa, codes.astype(np.uint32), DNA)

@@ -1,0 +1,63 @@
+"""FASTA reading and writing."""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.errors import AlignmentError
+from repro.seq.alignment import Alignment
+from repro.seq.alphabet import DNA, Alphabet
+
+__all__ = ["read_fasta", "write_fasta", "parse_fasta"]
+
+
+def parse_fasta(text: str, alphabet: Alphabet = DNA) -> Alignment:
+    """Parse FASTA-formatted text into an :class:`Alignment`.
+
+    Headers are truncated at the first whitespace (the common convention);
+    sequence lines may be wrapped arbitrarily.
+    """
+    names: list[str] = []
+    chunks: list[list[str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            name = line[1:].split()[0] if len(line) > 1 else ""
+            if not name:
+                raise AlignmentError(f"empty FASTA header at line {lineno}")
+            names.append(name)
+            chunks.append([])
+        else:
+            if not names:
+                raise AlignmentError(
+                    f"sequence data before any FASTA header at line {lineno}"
+                )
+            chunks[-1].append(line)
+    if not names:
+        raise AlignmentError("no FASTA records found")
+    seqs = {name: "".join(parts) for name, parts in zip(names, chunks)}
+    if len(seqs) != len(names):
+        raise AlignmentError("duplicate FASTA headers")
+    return Alignment.from_sequences(seqs, alphabet)
+
+
+def read_fasta(path: str | Path, alphabet: Alphabet = DNA) -> Alignment:
+    """Read a FASTA file from disk."""
+    return parse_fasta(Path(path).read_text(), alphabet)
+
+
+def write_fasta(alignment: Alignment, path: str | Path, width: int = 70) -> None:
+    """Write an alignment as wrapped FASTA."""
+    if width <= 0:
+        raise AlignmentError("line width must be positive")
+    buf = io.StringIO()
+    for taxon in alignment.taxa:
+        buf.write(f">{taxon}\n")
+        seq = alignment.sequence(taxon)
+        for start in range(0, len(seq), width):
+            buf.write(seq[start : start + width])
+            buf.write("\n")
+    Path(path).write_text(buf.getvalue())

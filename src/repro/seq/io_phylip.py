@@ -1,0 +1,79 @@
+"""Relaxed sequential PHYLIP reading and writing.
+
+RAxML-Light and ExaML consume relaxed PHYLIP: a ``<n_taxa> <n_sites>``
+header followed by ``name sequence`` rows where the name is any
+whitespace-free token (classic PHYLIP's 10-column fixed names are also
+accepted as a fallback).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.errors import AlignmentError
+from repro.seq.alignment import Alignment
+from repro.seq.alphabet import DNA, Alphabet
+
+__all__ = ["read_phylip", "write_phylip", "parse_phylip"]
+
+
+def parse_phylip(text: str, alphabet: Alphabet = DNA) -> Alignment:
+    """Parse relaxed sequential PHYLIP text into an :class:`Alignment`."""
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        raise AlignmentError("empty PHYLIP input")
+    header = lines[0].split()
+    if len(header) != 2:
+        raise AlignmentError(f"bad PHYLIP header: {lines[0]!r}")
+    try:
+        n_taxa, n_sites = int(header[0]), int(header[1])
+    except ValueError as exc:
+        raise AlignmentError(f"non-numeric PHYLIP header: {lines[0]!r}") from exc
+    if n_taxa <= 0 or n_sites <= 0:
+        raise AlignmentError("PHYLIP header must declare positive dimensions")
+    if len(lines) - 1 < n_taxa:
+        raise AlignmentError(
+            f"PHYLIP header declares {n_taxa} taxa but only "
+            f"{len(lines) - 1} data lines follow"
+        )
+
+    seqs: dict[str, str] = {}
+    row = 1
+    for _ in range(n_taxa):
+        parts = lines[row].split(None, 1)
+        if len(parts) == 2 and len(parts[1].replace(" ", "")) >= 1:
+            name, seq = parts[0], parts[1].replace(" ", "")
+        else:
+            # classic PHYLIP: 10-character name field
+            name = lines[row][:10].strip()
+            seq = lines[row][10:].replace(" ", "")
+        row += 1
+        # interleaved continuation lines for sequential files that wrap
+        while len(seq) < n_sites and row < len(lines):
+            nxt = lines[row].replace(" ", "")
+            seq += nxt
+            row += 1
+        if len(seq) != n_sites:
+            raise AlignmentError(
+                f"taxon {name!r}: expected {n_sites} sites, found {len(seq)}"
+            )
+        if name in seqs:
+            raise AlignmentError(f"duplicate taxon {name!r}")
+        seqs[name] = seq
+    return Alignment.from_sequences(seqs, alphabet)
+
+
+def read_phylip(path: str | Path, alphabet: Alphabet = DNA) -> Alignment:
+    """Read a relaxed PHYLIP file from disk."""
+    return parse_phylip(Path(path).read_text(), alphabet)
+
+
+def write_phylip(alignment: Alignment, path: str | Path) -> None:
+    """Write an alignment as relaxed sequential PHYLIP."""
+    buf = io.StringIO()
+    buf.write(f"{alignment.n_taxa} {alignment.n_sites}\n")
+    pad = max(len(t) for t in alignment.taxa) + 2
+    for taxon in alignment.taxa:
+        buf.write(f"{taxon:<{pad}}{alignment.sequence(taxon)}\n")
+    Path(path).write_text(buf.getvalue())

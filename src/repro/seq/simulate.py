@@ -1,0 +1,158 @@
+"""Sequence simulation along a tree (the dataset generator).
+
+The paper's large benchmark alignment is itself *simulated* (150 taxa ×
+20,000,000 bp), so simulation is part of the reproduced system, not a
+shortcut.  We evolve sites independently down a rooted version of the tree
+under a GTR model with optional Gamma-distributed per-site rate
+multipliers, which produces alignments with realistic pattern diversity
+and per-gene heterogeneity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError, TreeError
+from repro.seq.alignment import Alignment
+from repro.seq.alphabet import DNA, Alphabet
+from repro.model.substitution import SubstitutionModel
+from repro.tree.topology import Node, Tree
+
+__all__ = ["simulate_alignment", "simulate_partitioned_alignment"]
+
+
+def _draw_states(probs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Vectorized categorical draw: one state per row of ``probs``."""
+    cdf = np.cumsum(probs, axis=-1)
+    cdf[..., -1] = 1.0  # guard against round-off
+    u = rng.random(probs.shape[:-1])
+    return (u[..., None] > cdf).sum(axis=-1)
+
+
+def simulate_alignment(
+    tree: Tree,
+    model: SubstitutionModel,
+    n_sites: int,
+    rng: np.random.Generator | int | None = None,
+    site_rates: np.ndarray | None = None,
+    gamma_alpha: float | None = None,
+    alphabet: Alphabet = DNA,
+) -> Alignment:
+    """Simulate an alignment of ``n_sites`` sites along ``tree``.
+
+    Works for any alphabet whose state count matches the model (DNA by
+    default; pass :data:`repro.seq.alphabet.AMINO_ACIDS` with a 20-state
+    model for proteins).
+
+    Parameters
+    ----------
+    site_rates:
+        Optional explicit per-site rate multipliers (length ``n_sites``).
+    gamma_alpha:
+        If given (and ``site_rates`` is not), draw iid per-site rates from
+        Gamma(α, α), the continuous counterpart of the Γ model.
+    """
+    if n_sites <= 0:
+        raise ModelError("n_sites must be positive")
+    if model.n_states != alphabet.n_states:
+        raise ModelError(
+            f"model has {model.n_states} states but alphabet "
+            f"{alphabet.name} has {alphabet.n_states}"
+        )
+    tree.validate()
+    rng = np.random.default_rng(rng)
+
+    if site_rates is not None:
+        site_rates = np.asarray(site_rates, dtype=np.float64)
+        if site_rates.shape != (n_sites,):
+            raise ModelError("site_rates length mismatch")
+        if np.any(site_rates <= 0):
+            raise ModelError("site rates must be positive")
+    elif gamma_alpha is not None:
+        if gamma_alpha <= 0:
+            raise ModelError("gamma_alpha must be positive")
+        site_rates = rng.gamma(shape=gamma_alpha, scale=1.0 / gamma_alpha, size=n_sites)
+        site_rates = np.maximum(site_rates, 1e-4)
+    else:
+        site_rates = np.ones(n_sites)
+
+    n = model.n_states
+    eigen = model.eigen()
+    root = tree.inner_nodes()[0]
+    states: dict[int, np.ndarray] = {
+        root.id: _draw_states(
+            np.broadcast_to(model.frequencies, (n_sites, n)), rng
+        )
+    }
+
+    def visit(node: Node, parent: Node) -> None:
+        t = float(tree.edge_length(node, parent)[0])
+        pmats = eigen.pmatrices(site_rates * t)  # (n_sites, n, n)
+        parent_states = states[parent.id]
+        row_probs = pmats[np.arange(n_sites), parent_states, :]
+        states[node.id] = _draw_states(row_probs, rng)
+        if not node.is_leaf:
+            for child in tree.other_neighbors(node, parent):
+                visit(child, node)
+
+    for child in root.neighbors:
+        visit(child, root)
+
+    masks = {}
+    for leaf in tree.leaves():
+        if leaf.label is None:  # pragma: no cover - defensive
+            raise TreeError("leaf without label")
+        masks[leaf.label] = (np.uint32(1) << states[leaf.id].astype(np.uint32))
+    taxa = sorted(masks)
+    data = np.vstack([masks[t] for t in taxa])
+    return Alignment(taxa, data, alphabet)
+
+
+def simulate_partitioned_alignment(
+    tree: Tree,
+    models: list[SubstitutionModel],
+    partition_sizes: list[int],
+    rng: np.random.Generator | int | None = None,
+    gamma_alphas: list[float] | None = None,
+    partition_rate_multipliers: list[float] | None = None,
+) -> Alignment:
+    """Simulate a multi-gene alignment: one model (and optional α and
+    overall rate multiplier) per partition, concatenated left to right.
+
+    Different genes evolving at different speeds is exactly the
+    biological motivation the paper gives for partitioned analyses.
+    """
+    p = len(partition_sizes)
+    if len(models) != p:
+        raise ModelError("one model per partition required")
+    if gamma_alphas is not None and len(gamma_alphas) != p:
+        raise ModelError("one alpha per partition required")
+    if partition_rate_multipliers is not None and len(partition_rate_multipliers) != p:
+        raise ModelError("one rate multiplier per partition required")
+    rng = np.random.default_rng(rng)
+
+    blocks: list[Alignment] = []
+    for i in range(p):
+        block_tree = tree
+        mult = 1.0 if partition_rate_multipliers is None else partition_rate_multipliers[i]
+        if mult != 1.0:
+            if mult <= 0:
+                raise ModelError("rate multipliers must be positive")
+            block_tree = tree.copy()
+            for u, v in block_tree.edges():
+                block_tree.set_edge_length(u, v, block_tree.edge_length(u, v) * mult)
+        blocks.append(
+            simulate_alignment(
+                block_tree,
+                models[i],
+                partition_sizes[i],
+                rng=rng,
+                gamma_alpha=None if gamma_alphas is None else gamma_alphas[i],
+            )
+        )
+    taxa = blocks[0].taxa
+    for b in blocks[1:]:
+        if b.taxa != taxa:  # pragma: no cover - defensive
+            raise ModelError("taxon sets diverged across partitions")
+    data = np.concatenate([b.data for b in blocks], axis=1)
+    return Alignment(taxa, data, DNA)

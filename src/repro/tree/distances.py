@@ -1,0 +1,50 @@
+"""Tree comparison: bipartitions and the Robinson–Foulds distance.
+
+Used by the tests to assert that the fork-join and decentralized engines
+produce *identical* final topologies (the paper's engines implement exactly
+the same search algorithm, so their outputs must agree).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TreeError
+from repro.tree.topology import Node, Tree
+
+__all__ = ["bipartitions", "rf_distance", "same_topology"]
+
+
+def bipartitions(tree: Tree) -> set[frozenset[str]]:
+    """Non-trivial bipartitions of the tree, each as the smaller side's
+    frozen taxon-label set (canonicalized against the full label set)."""
+    tree.validate()
+    all_labels = frozenset(n.label for n in tree.leaves())  # type: ignore[arg-type]
+
+    def side_labels(node: Node, parent: Node) -> frozenset[str]:
+        if node.is_leaf:
+            return frozenset([node.label])  # type: ignore[list-item]
+        out: set[str] = set()
+        for child in tree.other_neighbors(node, parent):
+            out |= side_labels(child, node)
+        return frozenset(out)
+
+    splits: set[frozenset[str]] = set()
+    for u, v in tree.edges():
+        if u.is_leaf or v.is_leaf:
+            continue  # trivial split
+        side = side_labels(u, v)
+        other = all_labels - side
+        splits.add(min(side, other, key=lambda s: (len(s), sorted(s))))
+    return splits
+
+
+def rf_distance(a: Tree, b: Tree) -> int:
+    """Robinson–Foulds distance (symmetric-difference of bipartitions)."""
+    if set(a.taxon_labels()) != set(b.taxon_labels()):
+        raise TreeError("trees are over different taxon sets")
+    sa, sb = bipartitions(a), bipartitions(b)
+    return len(sa ^ sb)
+
+
+def same_topology(a: Tree, b: Tree) -> bool:
+    """True iff the two trees share every bipartition."""
+    return rf_distance(a, b) == 0

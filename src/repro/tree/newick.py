@@ -1,0 +1,194 @@
+"""Newick tree parsing and writing.
+
+The parser accepts standard Newick with branch lengths, inner labels
+(ignored), quoted labels and bracket comments.  Rooted inputs (a degree-2
+root) are automatically *unrooted* by merging the root's two child edges,
+since the likelihood code operates on unrooted trees.
+
+The writer produces a deterministic representation rooted at an arbitrary
+inner node, with children ordered by the smallest taxon label in their
+subtree so that topologically identical trees serialize identically — a
+property the decentralized engine's consistency tests rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NewickError
+from repro.tree.topology import Node, Tree
+
+__all__ = ["parse_newick", "write_newick"]
+
+
+class _Lexer:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def _skip_ws_and_comments(self) -> None:
+        while self.pos < len(self.text):
+            c = self.text[self.pos]
+            if c.isspace():
+                self.pos += 1
+            elif c == "[":
+                end = self.text.find("]", self.pos)
+                if end == -1:
+                    raise NewickError("unterminated [comment]")
+                self.pos = end + 1
+            else:
+                return
+
+    def peek(self) -> str:
+        self._skip_ws_and_comments()
+        if self.pos >= len(self.text):
+            raise NewickError("unexpected end of Newick input")
+        return self.text[self.pos]
+
+    def take(self) -> str:
+        c = self.peek()
+        self.pos += 1
+        return c
+
+    def expect(self, c: str) -> None:
+        got = self.take()
+        if got != c:
+            raise NewickError(f"expected {c!r} at position {self.pos - 1}, got {got!r}")
+
+    def label(self) -> str:
+        self._skip_ws_and_comments()
+        if self.pos < len(self.text) and self.text[self.pos] == "'":
+            end = self.pos + 1
+            out = []
+            while True:
+                nxt = self.text.find("'", end)
+                if nxt == -1:
+                    raise NewickError("unterminated quoted label")
+                if nxt + 1 < len(self.text) and self.text[nxt + 1] == "'":
+                    out.append(self.text[end : nxt + 1])
+                    end = nxt + 2
+                else:
+                    out.append(self.text[end:nxt])
+                    self.pos = nxt + 1
+                    return "".join(out)
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] not in "(),:;[":
+            self.pos += 1
+        return self.text[start : self.pos].strip()
+
+    def number(self) -> float:
+        self._skip_ws_and_comments()
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isdigit() or self.text[self.pos] in "+-.eE"
+        ):
+            self.pos += 1
+        token = self.text[start : self.pos]
+        try:
+            return float(token)
+        except ValueError as exc:
+            raise NewickError(f"bad branch length {token!r}") from exc
+
+
+def parse_newick(text: str, n_branch_sets: int = 1) -> Tree:
+    """Parse a Newick string into an unrooted :class:`Tree`.
+
+    Branch lengths default to :attr:`Tree.DEFAULT_LENGTH` when omitted; a
+    scalar input length is replicated across all ``n_branch_sets``.
+    """
+    tree = Tree(n_branch_sets)
+    lex = _Lexer(text)
+
+    def parse_clade(parent: Node | None) -> tuple[Node, float | None]:
+        if lex.peek() == "(":
+            lex.expect("(")
+            node = tree.add_node()
+            children: list[tuple[Node, float | None]] = [parse_clade(node)]
+            while lex.peek() == ",":
+                lex.take()
+                children.append(parse_clade(node))
+            lex.expect(")")
+            lex.label()  # inner label / support value: parsed, ignored
+            for child, length in children:
+                tree.connect(node, child, length)
+        else:
+            label = lex.label()
+            if not label:
+                raise NewickError(f"empty leaf label near position {lex.pos}")
+            node = tree.add_node(label=label)
+        length: float | None = None
+        lex._skip_ws_and_comments()
+        if lex.pos < len(lex.text) and lex.text[lex.pos] == ":":
+            lex.take()
+            length = lex.number()
+            if length < 0:
+                raise NewickError("negative branch length")
+        return node, length
+
+    root, root_len = parse_clade(None)
+    lex._skip_ws_and_comments()
+    if lex.pos >= len(lex.text) or lex.text[lex.pos] != ";":
+        raise NewickError("missing terminating ';'")
+    if root_len is not None:
+        raise NewickError("branch length on the root clade")
+
+    if root.is_leaf:
+        raise NewickError("tree must contain at least one clade")
+    # Unroot: a rooted tree yields a degree-2 top node; merge its edges.
+    if root.degree == 2:
+        tree.contract_node(root)
+
+    labels = [n.label for n in tree.leaves()]
+    if len(labels) != len(set(labels)):
+        raise NewickError("duplicate taxon labels")
+    tree.validate()
+    return tree
+
+
+def _subtree_min_label(tree: Tree, node: Node, parent: Node) -> str:
+    if node.is_leaf:
+        return node.label  # type: ignore[return-value]
+    return min(
+        _subtree_min_label(tree, child, node)
+        for child in tree.other_neighbors(node, parent)
+    )
+
+
+def _format_length(length: np.ndarray, branch_set: int, digits: int) -> str:
+    return f"{float(length[branch_set]):.{digits}f}"
+
+
+def write_newick(
+    tree: Tree,
+    lengths: bool = True,
+    branch_set: int = 0,
+    digits: int = 8,
+) -> str:
+    """Serialize a tree to canonical Newick.
+
+    For trees with several branch-length sets, ``branch_set`` selects which
+    set is written (per-partition mode has no single Newick representation).
+    """
+    tree.validate()
+
+    # Root the output at the inner node adjacent to the alphabetically
+    # smallest taxon, making the string canonical for a given topology.
+    anchor = min(tree.leaves(), key=lambda n: n.label)  # type: ignore[arg-type]
+    root = anchor.neighbors[0]
+
+    def render(node: Node, parent: Node) -> str:
+        if node.is_leaf:
+            body = node.label or ""
+        else:
+            children = tree.other_neighbors(node, parent)
+            children.sort(key=lambda c: _subtree_min_label(tree, c, node))
+            body = "(" + ",".join(render(c, node) for c in children) + ")"
+        if lengths:
+            body += ":" + _format_length(tree.edge_length(node, parent), branch_set, digits)
+        return body
+
+    children = sorted(
+        root.neighbors, key=lambda c: _subtree_min_label(tree, c, root) if not c.is_leaf else c.label  # type: ignore[arg-type]
+    )
+    parts = [render(c, root) for c in children]
+    return "(" + ",".join(parts) + ");"

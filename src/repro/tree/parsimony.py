@@ -1,0 +1,120 @@
+"""Parsimony: Fitch scoring and randomized stepwise-addition starting trees.
+
+RAxML (and hence RAxML-Light/ExaML production runs) start their ML
+searches from *randomized maximum-parsimony* trees rather than uniformly
+random topologies: stepwise addition inserts taxa in random order at the
+position minimizing the Fitch parsimony score.  Such trees start hundreds
+of log-likelihood units closer to the optimum, which shortens the ML
+search — part of the system, not an optimization nicety.
+
+The Fitch pass is fully vectorized over sites using the same bit-mask
+state encoding the likelihood kernels use: intersection = ``AND``,
+union = ``OR``, and a site's score increments where the intersection is
+empty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TreeError
+from repro.seq.alignment import PatternAlignment
+from repro.tree.topology import Node, Tree
+
+__all__ = ["fitch_score", "parsimony_tree"]
+
+
+def _fitch_up(tree: Tree, node: Node, parent: Node, masks, weights) -> tuple[np.ndarray, float]:
+    """Post-order Fitch: returns (state-set masks, weighted score) of the
+    subtree hanging off ``node``."""
+    if node.is_leaf:
+        return masks[node.label], 0.0
+    children = tree.other_neighbors(node, parent)
+    sets = []
+    score = 0.0
+    for child in children:
+        s, sc = _fitch_up(tree, child, node, masks, weights)
+        sets.append(s)
+        score += sc
+    acc = sets[0]
+    for s in sets[1:]:
+        inter = acc & s
+        empty = inter == 0
+        score += float(weights[empty].sum())
+        acc = np.where(empty, acc | s, inter)
+    return acc, score
+
+
+def fitch_score(tree: Tree, patterns: PatternAlignment) -> float:
+    """Weighted Fitch parsimony score of ``tree`` on compressed patterns."""
+    tree.validate()
+    masks = {
+        taxon: patterns.patterns[row]
+        for row, taxon in enumerate(patterns.taxa)
+    }
+    for leaf in tree.leaves():
+        if leaf.label not in masks:
+            raise TreeError(f"taxon {leaf.label!r} missing from alignment")
+    root = tree.inner_nodes()[0]
+    children = root.neighbors
+    sets = []
+    score = 0.0
+    for child in children:
+        s, sc = _fitch_up(tree, child, root, masks, patterns.weights)
+        sets.append(s)
+        score += sc
+    acc = sets[0]
+    for s in sets[1:]:
+        inter = acc & s
+        empty = inter == 0
+        score += float(patterns.weights[empty].sum())
+        acc = np.where(empty, acc | s, inter)
+    return score
+
+
+def parsimony_tree(
+    patterns: PatternAlignment,
+    rng: np.random.Generator | int | None = None,
+    default_length: float = 0.1,
+    n_branch_sets: int = 1,
+) -> Tree:
+    """Randomized stepwise-addition maximum-parsimony starting tree.
+
+    Taxa are inserted in random order; each insertion point is the edge
+    minimizing the resulting Fitch score (ties broken deterministically
+    by edge id, so a seed fully determines the tree — a requirement for
+    the decentralized engine, whose replicas must build identical
+    starting trees).
+    """
+    taxa = list(patterns.taxa)
+    if len(taxa) < 3:
+        raise TreeError("need at least 3 taxa")
+    rng = np.random.default_rng(rng)
+    order = [taxa[i] for i in rng.permutation(len(taxa))]
+
+    tree = Tree(n_branch_sets)
+    center = tree.add_node()
+    for label in order[:3]:
+        tree.connect(center, tree.add_node(label), default_length)
+
+    for label in order[3:]:
+        best_key = None
+        best_score = np.inf
+        for u, v in tree.edges():
+            w = tree.split_edge(u, v)
+            leaf = tree.add_node(label)
+            tree.connect(w, leaf, default_length)
+            score = fitch_score(tree, patterns)
+            if score < best_score:
+                best_score = score
+                best_key = (u.id, v.id)
+            # undo
+            tree.disconnect(w, leaf)
+            tree.remove_node(leaf)
+            tree.contract_node(w)
+        assert best_key is not None
+        u, v = tree.node(best_key[0]), tree.node(best_key[1])
+        w = tree.split_edge(u, v)
+        tree.connect(w, tree.add_node(label), default_length)
+    tree.validate()
+    return tree

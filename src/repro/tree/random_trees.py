@@ -1,0 +1,78 @@
+"""Random starting trees.
+
+Two generators:
+
+* :func:`random_topology` — stepwise random addition, the classical way to
+  draw a uniform-ish random unrooted binary topology (RAxML's random
+  starting trees work the same way);
+* :func:`yule_tree` — a Yule (pure-birth) tree with exponential branch
+  lengths, used by the sequence simulator to create realistic datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TreeError
+from repro.tree.topology import Tree
+
+__all__ = ["random_topology", "yule_tree"]
+
+
+def random_topology(
+    taxa: list[str],
+    rng: np.random.Generator | int | None = None,
+    default_length: float = 0.1,
+    n_branch_sets: int = 1,
+) -> Tree:
+    """Random unrooted binary topology over ``taxa`` via stepwise addition."""
+    if len(taxa) < 3:
+        raise TreeError("need at least 3 taxa")
+    if len(set(taxa)) != len(taxa):
+        raise TreeError("taxa must be unique")
+    rng = np.random.default_rng(rng)
+
+    tree = Tree(n_branch_sets)
+    order = list(taxa)
+    # permute addition order deterministically under the given rng
+    perm = rng.permutation(len(order))
+    order = [order[i] for i in perm]
+
+    a = tree.add_node(order[0])
+    b = tree.add_node(order[1])
+    c = tree.add_node(order[2])
+    center = tree.add_node()
+    for leaf in (a, b, c):
+        tree.connect(center, leaf, default_length)
+
+    for label in order[3:]:
+        edges = tree.edges()
+        u, v = edges[rng.integers(len(edges))]
+        w = tree.split_edge(u, v)
+        leaf = tree.add_node(label)
+        tree.connect(w, leaf, default_length)
+    tree.validate()
+    return tree
+
+
+def yule_tree(
+    taxa: list[str],
+    rng: np.random.Generator | int | None = None,
+    mean_branch_length: float = 0.08,
+    n_branch_sets: int = 1,
+) -> Tree:
+    """Yule-process tree shape with iid exponential branch lengths.
+
+    Branch lengths are drawn exponentially with the given mean, which
+    yields datasets with realistic rate spread for the simulator.
+    """
+    if mean_branch_length <= 0:
+        raise TreeError("mean_branch_length must be positive")
+    rng = np.random.default_rng(rng)
+    tree = random_topology(taxa, rng, default_length=mean_branch_length,
+                           n_branch_sets=n_branch_sets)
+    for u, v in tree.edges():
+        length = float(rng.exponential(mean_branch_length))
+        # avoid degenerate zero-length branches
+        tree.set_edge_length(u, v, max(length, 1e-4))
+    return tree

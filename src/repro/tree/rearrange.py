@@ -1,0 +1,192 @@
+"""Topological rearrangements: NNI and SPR with cheap undo.
+
+The RAxML search algorithm that both ExaML and RAxML-Light implement is a
+lazy-SPR hill climber: it prunes every candidate subtree, re-inserts it
+into all branches within a *rearrangement radius* of the pruning point,
+scores each insertion quickly, and keeps the best.  To make the
+try/score/undo loop cheap and id-stable (the likelihood layer caches CLVs
+by node id), the pruned junction node is *recycled* as the re-insertion
+junction, exactly like RAxML's node-record recycling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TreeError
+from repro.tree.topology import Node, Tree, edge_key
+
+__all__ = ["SPRContext", "nni_swap", "edges_within_radius"]
+
+
+def nni_swap(tree: Tree, u: Node, v: Node, variant: int) -> "callable":
+    """Apply one of the two NNI rearrangements around inner edge ``{u, v}``.
+
+    ``variant`` 0 swaps the first child of ``u`` with the first child of
+    ``v``; variant 1 swaps with the second child of ``v``.  Returns a
+    zero-argument undo callable.
+    """
+    if u.is_leaf or v.is_leaf:
+        raise TreeError("NNI requires an inner edge")
+    if variant not in (0, 1):
+        raise TreeError("NNI variant must be 0 or 1")
+    a = tree.other_neighbors(u, v)[0]
+    b = tree.other_neighbors(v, u)[variant]
+    la = tree.disconnect(u, a)
+    lb = tree.disconnect(v, b)
+    tree.connect(u, b, lb)
+    tree.connect(v, a, la)
+
+    def undo() -> None:
+        tree.disconnect(u, b)
+        tree.disconnect(v, a)
+        tree.connect(u, a, la)
+        tree.connect(v, b, lb)
+
+    return undo
+
+
+@dataclass
+class _PruneState:
+    x: Node
+    y: Node
+    lx: np.ndarray
+    ly: np.ndarray
+
+
+@dataclass
+class _GraftState:
+    e1: Node
+    e2: Node
+    original_length: np.ndarray
+
+
+class SPRContext:
+    """Prune-once / regraft-many helper for lazy SPR.
+
+    Usage::
+
+        ctx = SPRContext(tree, junction, subtree_root)
+        for e1, e2 in candidate_edges:
+            ctx.regraft(e1, e2)
+            score = evaluate(...)
+            ctx.undo_regraft()
+        ctx.restore()            # put the subtree back where it was
+        # or: ctx.regraft(best); ctx.commit()
+
+    ``junction`` is the inner node connecting the subtree to the rest of
+    the tree; ``subtree_root`` is its neighbor inside the subtree.  After
+    :meth:`__init__` the junction keeps only its edge to the subtree and
+    the tree proper is healed with a merged edge.
+    """
+
+    def __init__(self, tree: Tree, junction: Node, subtree_root: Node) -> None:
+        if junction.is_leaf:
+            raise TreeError("junction must be an inner node")
+        if subtree_root not in junction.neighbors:
+            raise TreeError("subtree_root must neighbor the junction")
+        rest = tree.other_neighbors(junction, subtree_root)
+        if len(rest) != 2:
+            raise TreeError("junction must have degree 3")
+        x, y = rest
+        if tree.has_edge(x, y):
+            # Pruning would create a parallel edge (happens only on 4-taxon
+            # trees where x and y are already adjacent).
+            raise TreeError("cannot prune: junction neighbors already adjacent")
+        self.tree = tree
+        self.junction = junction
+        self.subtree_root = subtree_root
+        lx = tree.disconnect(junction, x)
+        ly = tree.disconnect(junction, y)
+        tree.connect(x, y, lx + ly)
+        self._prune = _PruneState(x=x, y=y, lx=lx, ly=ly)
+        self._graft: _GraftState | None = None
+        self._done = False
+
+    @property
+    def healed_edge(self) -> tuple[Node, Node]:
+        """The edge created where the subtree was removed."""
+        return self._prune.x, self._prune.y
+
+    def regraft(self, e1: Node, e2: Node) -> None:
+        """Insert the pruned subtree into the middle of edge ``{e1, e2}``."""
+        self._check_open()
+        if self._graft is not None:
+            raise TreeError("already regrafted; undo first")
+        if not self.tree.has_edge(e1, e2):
+            raise TreeError(f"no target edge ({e1.id},{e2.id})")
+        if e1 is self.junction or e2 is self.junction:
+            raise TreeError("cannot regraft onto the pruned junction")
+        length = self.tree.disconnect(e1, e2)
+        self.tree.connect(self.junction, e1, length / 2.0)
+        self.tree.connect(self.junction, e2, length / 2.0)
+        self._graft = _GraftState(e1=e1, e2=e2, original_length=length)
+
+    def undo_regraft(self) -> None:
+        """Remove the subtree from its trial position."""
+        self._check_open()
+        if self._graft is None:
+            raise TreeError("nothing to undo")
+        g = self._graft
+        self.tree.disconnect(self.junction, g.e1)
+        self.tree.disconnect(self.junction, g.e2)
+        self.tree.connect(g.e1, g.e2, g.original_length)
+        self._graft = None
+
+    def restore(self) -> None:
+        """Put the subtree back exactly where it was pruned from."""
+        self._check_open()
+        if self._graft is not None:
+            self.undo_regraft()
+        p = self._prune
+        self.tree.disconnect(p.x, p.y)
+        self.tree.connect(self.junction, p.x, p.lx)
+        self.tree.connect(self.junction, p.y, p.ly)
+        self._done = True
+
+    def commit(self) -> None:
+        """Accept the current regraft as the new topology."""
+        self._check_open()
+        if self._graft is None:
+            raise TreeError("no regraft to commit")
+        self._done = True
+
+    def _check_open(self) -> None:
+        if self._done:
+            raise TreeError("SPRContext already closed")
+
+
+def edges_within_radius(
+    tree: Tree, start: tuple[Node, Node], radius: int, exclude: Node | None = None
+) -> list[tuple[Node, Node]]:
+    """Edges reachable within ``radius`` node-hops of the ``start`` edge.
+
+    Used to bound the lazy-SPR candidate set.  ``exclude`` (the pruned
+    junction) and its incident edges are never returned.  The start edge
+    itself is included at distance 0.  Results are deterministically
+    ordered by edge key.
+    """
+    if radius < 0:
+        raise TreeError("radius must be non-negative")
+    seen_edges: set[tuple[int, int]] = set()
+    frontier: list[tuple[Node, int]] = [(start[0], 0), (start[1], 0)]
+    seen_nodes: set[int] = set()
+    seen_edges.add(edge_key(*start))
+    while frontier:
+        node, dist = frontier.pop()
+        if node.id in seen_nodes or node is exclude:
+            continue
+        seen_nodes.add(node.id)
+        if dist >= radius:
+            continue
+        for nbr in node.neighbors:
+            if nbr is exclude:
+                continue
+            seen_edges.add(edge_key(node, nbr))
+            frontier.append((nbr, dist + 1))
+    out = []
+    for a, b in sorted(seen_edges):
+        out.append((tree.node(a), tree.node(b)))
+    return out

@@ -1,0 +1,50 @@
+"""Shared fixtures: small deterministic alignments, trees and likelihoods."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.substitution import GTR
+from repro.seq.alignment import Alignment
+from repro.seq.simulate import simulate_alignment
+from repro.tree.newick import parse_newick
+from repro.tree.random_trees import random_topology, yule_tree
+
+
+@pytest.fixture()
+def tiny_alignment() -> Alignment:
+    return Alignment.from_sequences(
+        {
+            "A": "ACGTACGGTTAC",
+            "B": "ACGAACGGTCAC",
+            "C": "TCGTTGCGAAAC",
+            "D": "TCTTNGCGATAC",
+            "E": "TCTAAGCGTTAC",
+        }
+    )
+
+
+@pytest.fixture()
+def tiny_tree():
+    return parse_newick("((A:0.1,B:0.23):0.05,(C:0.4,E:0.2):0.1,D:0.31);")
+
+
+@pytest.fixture()
+def gtr_model():
+    return GTR([1.3, 3.2, 0.9, 1.2, 4.0, 1.0], [0.28, 0.22, 0.24, 0.26])
+
+
+@pytest.fixture()
+def sim_dataset(gtr_model):
+    """A 10-taxon simulated dataset with a known true tree."""
+    taxa = [f"t{i}" for i in range(10)]
+    true_tree = yule_tree(taxa, rng=11, mean_branch_length=0.12)
+    aln = simulate_alignment(true_tree, gtr_model, 1200, rng=12, gamma_alpha=0.7)
+    start = random_topology(taxa, rng=13)
+    return aln, true_tree, start
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(20130520)

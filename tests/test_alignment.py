@@ -1,0 +1,133 @@
+"""Unit and property tests for alignments and pattern compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlignmentError
+from repro.seq.alignment import Alignment, PatternAlignment, compress_columns
+from repro.seq.alphabet import DNA
+
+DNA_CHARS = "ACGT"
+
+
+class TestAlignmentConstruction:
+    def test_from_sequences(self, tiny_alignment):
+        assert tiny_alignment.n_taxa == 5
+        assert tiny_alignment.n_sites == 12
+
+    def test_ragged_rejected(self):
+        with pytest.raises(AlignmentError, match="ragged"):
+            Alignment.from_sequences({"A": "ACGT", "B": "ACG"})
+
+    def test_empty_rejected(self):
+        with pytest.raises(AlignmentError):
+            Alignment.from_sequences({})
+
+    def test_duplicate_taxa_rejected(self):
+        with pytest.raises(AlignmentError):
+            Alignment(["A", "A"], np.ones((2, 3), dtype=np.uint32))
+
+    def test_sequence_round_trip(self, tiny_alignment):
+        assert tiny_alignment.sequence("A") == "ACGTACGGTTAC"
+
+    def test_unknown_taxon(self, tiny_alignment):
+        with pytest.raises(AlignmentError):
+            tiny_alignment.sequence("nope")
+
+    def test_slice_sites(self, tiny_alignment):
+        sub = tiny_alignment.slice_sites(np.array([0, 1, 2]))
+        assert sub.n_sites == 3
+        assert sub.sequence("A") == "ACG"
+
+    def test_empirical_frequencies_sum_to_one(self, tiny_alignment):
+        freqs = tiny_alignment.empirical_frequencies()
+        assert freqs.shape == (4,)
+        assert np.isclose(freqs.sum(), 1.0)
+        assert np.all(freqs > 0)
+
+    def test_empirical_frequencies_distribute_ambiguity(self):
+        aln = Alignment.from_sequences({"A": "N", "B": "N", "C": "N"})
+        assert np.allclose(aln.empirical_frequencies(), 0.25)
+
+
+class TestPatternCompression:
+    def test_identical_columns_collapse(self):
+        aln = Alignment.from_sequences({"A": "AAAC", "B": "CCCG"})
+        pat = aln.compress()
+        assert pat.n_patterns == 2
+        assert sorted(pat.weights) == [1.0, 3.0]
+
+    def test_weights_sum_to_sites(self, tiny_alignment):
+        pat = tiny_alignment.compress()
+        assert pat.n_sites == tiny_alignment.n_sites
+        assert pat.n_patterns <= tiny_alignment.n_sites
+
+    def test_first_occurrence_order(self):
+        aln = Alignment.from_sequences({"A": "GATG", "B": "GATG"})
+        pat = aln.compress()
+        # first column G, then A, then T; final G maps back to pattern 0
+        assert aln.alphabet.decode(pat.patterns[0]) == "GAT"
+        assert list(pat.site_map) == [0, 1, 2, 0]
+
+    def test_site_map_reconstructs_alignment(self, tiny_alignment):
+        pat = tiny_alignment.compress()
+        rebuilt = pat.patterns[:, pat.site_map]
+        assert np.array_equal(rebuilt, tiny_alignment.data)
+
+    def test_tip_vector_shape(self, tiny_alignment):
+        pat = tiny_alignment.compress()
+        tv = pat.tip_vector(0)
+        assert tv.shape == (pat.n_patterns, 4)
+
+    def test_subset(self, tiny_alignment):
+        pat = tiny_alignment.compress()
+        sub = pat.subset(np.array([0, 1]))
+        assert sub.n_patterns == 2
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(AlignmentError):
+            PatternAlignment(
+                taxa=["A"],
+                patterns=np.ones((1, 2), dtype=np.uint32),
+                weights=np.array([1.0, 0.0]),
+            )
+
+
+@st.composite
+def random_alignment(draw):
+    n_taxa = draw(st.integers(2, 6))
+    n_sites = draw(st.integers(1, 40))
+    rows = draw(
+        st.lists(
+            st.text(alphabet=DNA_CHARS + "N-", min_size=n_sites, max_size=n_sites),
+            min_size=n_taxa,
+            max_size=n_taxa,
+        )
+    )
+    return Alignment.from_sequences({f"t{i}": s for i, s in enumerate(rows)})
+
+
+class TestCompressionProperties:
+    @given(random_alignment())
+    @settings(max_examples=60, deadline=None)
+    def test_compression_is_lossless(self, aln):
+        pat = aln.compress()
+        assert np.array_equal(pat.patterns[:, pat.site_map], aln.data)
+
+    @given(random_alignment())
+    @settings(max_examples=60, deadline=None)
+    def test_weights_are_column_counts(self, aln):
+        pat = aln.compress()
+        assert pat.weights.sum() == aln.n_sites
+        # every pattern column is unique
+        cols = {tuple(pat.patterns[:, j]) for j in range(pat.n_patterns)}
+        assert len(cols) == pat.n_patterns
+
+    @given(random_alignment())
+    @settings(max_examples=30, deadline=None)
+    def test_compress_columns_counts_match(self, aln):
+        patterns, weights, site_map = compress_columns(aln.data)
+        for j in range(patterns.shape[1]):
+            assert weights[j] == np.sum(site_map == j)

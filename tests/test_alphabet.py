@@ -1,0 +1,80 @@
+"""Unit tests for alphabets and ambiguity handling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlignmentError
+from repro.seq.alphabet import AMINO_ACIDS, DNA, Alphabet
+
+
+class TestDNAEncoding:
+    def test_concrete_states_are_single_bits(self):
+        masks = DNA.encode("ACGT")
+        assert list(masks) == [1, 2, 4, 8]
+
+    def test_lowercase_accepted(self):
+        assert np.array_equal(DNA.encode("acgt"), DNA.encode("ACGT"))
+
+    def test_gap_and_n_are_full_masks(self):
+        for ch in "-?NX":
+            assert DNA.encode(ch)[0] == 15
+
+    def test_iupac_ambiguities(self):
+        assert DNA.encode("R")[0] == (1 | 4)  # A or G
+        assert DNA.encode("Y")[0] == (2 | 8)  # C or T
+        assert DNA.encode("M")[0] == (1 | 2)
+        assert DNA.encode("B")[0] == (2 | 4 | 8)
+
+    def test_uracil_maps_to_thymine(self):
+        assert DNA.encode("U")[0] == DNA.encode("T")[0]
+
+    def test_unknown_character_raises_with_position(self):
+        with pytest.raises(AlignmentError, match="position 2"):
+            DNA.encode("AC!T")
+
+    def test_decode_round_trip(self):
+        seq = "ACGTRYN-"
+        decoded = DNA.decode(DNA.encode(seq))
+        # gap family all decodes to the same full-mask character
+        assert decoded[:6] == "ACGTRY"
+        assert DNA.encode(decoded[6])[0] == 15
+
+    def test_tip_vectors_expand_masks(self):
+        tv = DNA.tip_vectors(DNA.encode("AR-"))
+        assert tv.shape == (3, 4)
+        assert list(tv[0]) == [1, 0, 0, 0]
+        assert list(tv[1]) == [1, 0, 1, 0]
+        assert list(tv[2]) == [1, 1, 1, 1]
+
+    def test_state_index(self):
+        assert DNA.state_index("g") == 2
+        with pytest.raises(AlignmentError):
+            DNA.state_index("R")  # not concrete
+
+
+class TestAminoAcids:
+    def test_twenty_states(self):
+        assert AMINO_ACIDS.n_states == 20
+
+    def test_b_is_asx(self):
+        mask = AMINO_ACIDS.encode("B")[0]
+        n = 1 << AMINO_ACIDS.state_index("N")
+        d = 1 << AMINO_ACIDS.state_index("D")
+        assert mask == (n | d)
+
+    def test_gap_mask_covers_all(self):
+        assert AMINO_ACIDS.encode("-")[0] == (1 << 20) - 1
+
+
+class TestAlphabetValidation:
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(AlignmentError):
+            Alphabet(name="bad", states="AAC")
+
+    def test_single_state_rejected(self):
+        with pytest.raises(AlignmentError):
+            Alphabet(name="bad", states="A")
+
+    def test_ambiguity_to_unknown_state_rejected(self):
+        with pytest.raises(AlignmentError):
+            Alphabet(name="bad", states="AC", ambiguities={"Z": "AG"})

@@ -1,0 +1,131 @@
+"""Binary alignment format and the sequence simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlignmentError, ModelError
+from repro.model.substitution import GTR, JC69
+from repro.seq.alignment import Alignment
+from repro.seq.binary import read_binary_alignment, write_binary_alignment
+from repro.seq.simulate import simulate_alignment, simulate_partitioned_alignment
+from repro.tree.random_trees import yule_tree
+
+
+class TestBinaryFormat:
+    def test_round_trip(self, tiny_alignment, tmp_path):
+        path = tmp_path / "a.rba"
+        nbytes = write_binary_alignment(tiny_alignment, path)
+        assert nbytes == path.stat().st_size
+        again = read_binary_alignment(path)
+        assert again == tiny_alignment
+
+    def test_odd_site_count(self, tmp_path):
+        aln = Alignment.from_sequences({"A": "ACGTN", "B": "TTT--"})
+        path = tmp_path / "odd.rba"
+        write_binary_alignment(aln, path)
+        assert read_binary_alignment(path) == aln
+
+    def test_packing_is_compact(self, tmp_path):
+        # two DNA characters per byte: much smaller than text
+        rng = np.random.default_rng(0)
+        seqs = {f"t{i}": "".join(rng.choice(list("ACGT"), 1000)) for i in range(8)}
+        aln = Alignment.from_sequences(seqs)
+        path = tmp_path / "c.rba"
+        nbytes = write_binary_alignment(aln, path)
+        assert nbytes < 8 * 1000 * 0.6
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rba"
+        path.write_bytes(b"XXXXrest")
+        with pytest.raises(AlignmentError, match="magic"):
+            read_binary_alignment(path)
+
+    def test_truncation_detected(self, tiny_alignment, tmp_path):
+        path = tmp_path / "t.rba"
+        write_binary_alignment(tiny_alignment, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        with pytest.raises(AlignmentError, match="truncated"):
+            read_binary_alignment(path)
+
+    @given(st.integers(0, 10_000), st.integers(2, 6), st.integers(1, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_property(self, seed, n_taxa, n_sites):
+        import tempfile
+        from pathlib import Path
+
+        rng = np.random.default_rng(seed)
+        chars = list("ACGTRYSWKMBDHVN-")
+        seqs = {
+            f"t{i}": "".join(rng.choice(chars, n_sites)) for i in range(n_taxa)
+        }
+        aln = Alignment.from_sequences(seqs)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "x.rba"
+            write_binary_alignment(aln, path)
+            assert read_binary_alignment(path) == aln
+
+
+class TestSimulator:
+    def test_shapes_and_determinism(self, gtr_model):
+        taxa = [f"t{i}" for i in range(6)]
+        tree = yule_tree(taxa, rng=1)
+        a1 = simulate_alignment(tree, gtr_model, 500, rng=42)
+        a2 = simulate_alignment(tree, gtr_model, 500, rng=42)
+        assert a1 == a2
+        assert a1.n_taxa == 6 and a1.n_sites == 500
+
+    def test_base_composition_tracks_model(self, gtr_model):
+        taxa = [f"t{i}" for i in range(20)]
+        tree = yule_tree(taxa, rng=2, mean_branch_length=0.5)
+        aln = simulate_alignment(tree, gtr_model, 4000, rng=3)
+        freqs = aln.empirical_frequencies()
+        assert np.allclose(freqs, gtr_model.frequencies, atol=0.04)
+
+    def test_short_branches_give_conserved_columns(self):
+        taxa = [f"t{i}" for i in range(8)]
+        tree = yule_tree(taxa, rng=4, mean_branch_length=0.001)
+        aln = simulate_alignment(tree, JC69(), 300, rng=5)
+        pat = aln.compress()
+        assert pat.n_patterns < 30  # almost everything identical
+
+    def test_long_branches_give_diversity(self):
+        taxa = [f"t{i}" for i in range(8)]
+        tree = yule_tree(taxa, rng=6, mean_branch_length=2.0)
+        aln = simulate_alignment(tree, JC69(), 300, rng=7)
+        assert aln.compress().n_patterns > 200
+
+    def test_gamma_rates_create_rate_spread(self, gtr_model):
+        taxa = [f"t{i}" for i in range(12)]
+        tree = yule_tree(taxa, rng=8, mean_branch_length=0.2)
+        uniform = simulate_alignment(tree, gtr_model, 2000, rng=9)
+        hetero = simulate_alignment(tree, gtr_model, 2000, rng=9, gamma_alpha=0.2)
+        # strong heterogeneity -> more invariant columns AND more saturated ones
+        inv_u = np.mean([
+            len(set(uniform.data[:, j])) == 1 for j in range(2000)
+        ])
+        inv_h = np.mean([
+            len(set(hetero.data[:, j])) == 1 for j in range(2000)
+        ])
+        assert inv_h > inv_u
+
+    def test_partitioned_simulation(self, gtr_model):
+        taxa = [f"t{i}" for i in range(6)]
+        tree = yule_tree(taxa, rng=10)
+        aln = simulate_partitioned_alignment(
+            tree, [gtr_model, JC69()], [100, 50], rng=11,
+            partition_rate_multipliers=[0.5, 2.0],
+        )
+        assert aln.n_sites == 150
+
+    def test_validation(self, gtr_model):
+        taxa = [f"t{i}" for i in range(6)]
+        tree = yule_tree(taxa, rng=12)
+        with pytest.raises(ModelError):
+            simulate_alignment(tree, gtr_model, 0)
+        with pytest.raises(ModelError):
+            simulate_alignment(tree, gtr_model, 10, gamma_alpha=-1.0)
+        with pytest.raises(ModelError):
+            simulate_partitioned_alignment(tree, [gtr_model], [10, 10])

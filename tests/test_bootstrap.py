@@ -1,0 +1,82 @@
+"""Bootstrap-support tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.likelihood.partitioned import PartitionedLikelihood
+from repro.search.bootstrap import (
+    BootstrapResult,
+    bootstrap_support,
+    bootstrap_weights,
+)
+from repro.search.search import SearchConfig
+from repro.tree.distances import bipartitions
+
+
+class TestBootstrapWeights:
+    def test_total_preserved(self, rng):
+        w = np.array([5.0, 3.0, 2.0])
+        out = bootstrap_weights(w, rng)
+        assert out.sum() == pytest.approx(10.0, abs=1e-6)
+
+    def test_epsilon_for_unsampled(self):
+        rng = np.random.default_rng(0)
+        w = np.array([1000.0, 1.0e-9])  # second pattern ~never drawn
+        out = bootstrap_weights(w, rng)
+        assert np.all(out > 0)
+
+    def test_distribution_tracks_weights(self):
+        rng = np.random.default_rng(1)
+        w = np.array([900.0, 100.0])
+        draws = np.mean([bootstrap_weights(w, rng)[0] for _ in range(50)])
+        assert 850 < draws < 950
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(SearchError):
+            bootstrap_weights(np.array([0.2]), rng)
+
+
+class TestBootstrapSupport:
+    def test_strong_signal_gets_high_support(self, sim_dataset):
+        aln, truth, _ = sim_dataset
+        lik = PartitionedLikelihood.build(aln, truth.copy(), rate_mode="none")
+        result = bootstrap_support(
+            lik, truth, n_replicates=6,
+            config=SearchConfig(max_iterations=1, radius_max=1,
+                                model_opt=False),
+            rng=3,
+        )
+        assert result.n_replicates == 6
+        assert set(result.support) == bipartitions(truth)
+        # 1200 sites on 10 taxa: most splits should be solid
+        values = list(result.support.values())
+        assert np.mean(values) > 0.6
+        assert max(values) == 1.0
+
+    def test_result_formatting(self):
+        res = BootstrapResult(
+            n_replicates=10,
+            support={frozenset({"A", "B"}): 0.9, frozenset({"C", "D"}): 0.4},
+        )
+        text = res.format()
+        assert "90.0%" in text and "{A,B}" in text
+        assert res.min_support() == 0.4
+
+    def test_replicates_do_not_mutate_original(self, sim_dataset):
+        aln, truth, _ = sim_dataset
+        lik = PartitionedLikelihood.build(aln, truth.copy(), rate_mode="none")
+        before = lik.parts[0].weights.copy()
+        bootstrap_support(
+            lik, truth, n_replicates=2,
+            config=SearchConfig(max_iterations=1, radius_max=1,
+                                model_opt=False),
+            rng=4,
+        )
+        assert np.array_equal(lik.parts[0].weights, before)
+
+    def test_validation(self, sim_dataset):
+        aln, truth, _ = sim_dataset
+        lik = PartitionedLikelihood.build(aln, truth.copy(), rate_mode="none")
+        with pytest.raises(SearchError):
+            bootstrap_support(lik, truth, n_replicates=0)

@@ -1,0 +1,79 @@
+"""PSR rate-categorization tests (RAxML's CAT category compression)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.model.rates import categorize_rates
+
+
+class TestCategorize:
+    def test_bounded_distinct_values(self):
+        rng = np.random.default_rng(0)
+        rates = rng.uniform(0.01, 10.0, 5000)
+        weights = np.ones(5000)
+        out, idx = categorize_rates(rates, weights, n_categories=25)
+        assert len(np.unique(out)) <= 25
+        assert idx.max() < 25
+
+    def test_weighted_mean_preserved(self):
+        rng = np.random.default_rng(1)
+        rates = rng.uniform(0.1, 5.0, 300)
+        weights = rng.uniform(1.0, 10.0, 300)
+        out, _ = categorize_rates(rates, weights, n_categories=10)
+        assert np.dot(weights, out) / weights.sum() == pytest.approx(
+            np.dot(weights, rates) / weights.sum()
+        )
+
+    def test_monotone(self):
+        """Categorization must not reorder sites: faster sites stay >=."""
+        rates = np.array([0.1, 0.5, 1.0, 2.0, 8.0])
+        out, idx = categorize_rates(rates, np.ones(5), n_categories=3)
+        assert np.all(np.diff(out) >= -1e-12)
+        assert np.all(np.diff(idx) >= 0)
+
+    def test_uniform_rates_single_category(self):
+        out, idx = categorize_rates(np.full(10, 1.3), np.ones(10), 25)
+        assert np.allclose(out, 1.3)
+        assert np.all(idx == 0)
+
+    def test_one_category_collapses_to_mean(self):
+        rates = np.array([0.5, 1.5])
+        out, _ = categorize_rates(rates, np.array([1.0, 3.0]), n_categories=1)
+        assert np.allclose(out, 1.25)
+
+    def test_accuracy_improves_with_categories(self):
+        rng = np.random.default_rng(2)
+        rates = rng.gamma(0.5, 2.0, 2000) + 0.01
+        weights = np.ones(2000)
+        err = []
+        for k in (2, 8, 32):
+            out, _ = categorize_rates(rates, weights, n_categories=k)
+            err.append(float(np.abs(out - rates).mean()))
+        assert err[0] > err[1] > err[2]
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            categorize_rates(np.array([1.0]), np.array([1.0, 2.0]), 5)
+        with pytest.raises(ModelError):
+            categorize_rates(np.array([1.0]), np.array([1.0]), 0)
+        with pytest.raises(ModelError):
+            categorize_rates(np.array([]), np.array([]), 5)
+
+    @given(
+        st.lists(st.floats(0.01, 20.0), min_size=1, max_size=200),
+        st.integers(1, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_properties(self, raw, k):
+        rates = np.array(raw)
+        weights = np.ones(rates.size)
+        out, idx = categorize_rates(rates, weights, n_categories=k)
+        assert out.shape == rates.shape
+        assert np.all(out > 0)
+        assert len(np.unique(out)) <= k
+        assert np.dot(weights, out) / weights.sum() == pytest.approx(
+            rates.mean(), rel=1e-9
+        )

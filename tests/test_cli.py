@@ -1,0 +1,100 @@
+"""CLI tests (argument parsing + end-to-end command runs)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.seq.io_fasta import read_fasta, write_fasta
+from repro.seq.simulate import simulate_alignment
+from repro.model.substitution import JC69
+from repro.tree.random_trees import yule_tree
+from repro.tree.newick import parse_newick
+
+
+@pytest.fixture()
+def fasta_path(tmp_path):
+    taxa = [f"t{i}" for i in range(8)]
+    tree = yule_tree(taxa, rng=1, mean_branch_length=0.15)
+    aln = simulate_alignment(tree, JC69(), 300, rng=2)
+    path = tmp_path / "data.fasta"
+    write_fasta(aln, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_infer_defaults(self, fasta_path):
+        args = build_parser().parse_args(["infer", str(fasta_path)])
+        assert args.model == "gamma"
+        assert not args.per_partition_branches
+
+    def test_minus_m_flag(self, fasta_path):
+        args = build_parser().parse_args(["infer", str(fasta_path), "-M"])
+        assert args.per_partition_branches
+
+
+class TestInfer:
+    def test_writes_valid_tree(self, fasta_path, tmp_path):
+        out = tmp_path / "tree.nwk"
+        rc = main(["infer", str(fasta_path), "-n", "2", "-r", "2",
+                   "-o", str(out), "--no-gtr"])
+        assert rc == 0
+        tree = parse_newick(out.read_text())
+        assert tree.n_taxa == 8
+
+    def test_checkpoint_and_resume(self, fasta_path, tmp_path):
+        ckpt = tmp_path / "state.npz"
+        out1 = tmp_path / "t1.nwk"
+        main(["infer", str(fasta_path), "-n", "1", "-r", "1",
+              "-o", str(out1), "--checkpoint", str(ckpt), "--no-gtr"])
+        assert ckpt.exists()
+        out2 = tmp_path / "t2.nwk"
+        rc = main(["infer", str(fasta_path), "-n", "1", "-r", "1",
+                   "-o", str(out2), "--resume", str(ckpt), "--no-gtr"])
+        assert rc == 0
+        assert parse_newick(out2.read_text()).n_taxa == 8
+
+    def test_partitioned_run(self, fasta_path, tmp_path):
+        part_file = tmp_path / "parts.txt"
+        part_file.write_text("DNA, g1 = 1-150\nDNA, g2 = 151-300\n")
+        out = tmp_path / "tree.nwk"
+        rc = main(["infer", str(fasta_path), "-q", str(part_file),
+                   "-n", "1", "-r", "1", "-o", str(out), "--no-gtr", "-M"])
+        assert rc == 0
+
+
+class TestSimulateAndConvert:
+    def test_simulate(self, tmp_path):
+        out = tmp_path / "sim.phy"
+        rc = main(["simulate", "-t", "6", "-l", "120", "-o", str(out),
+                   "--tree-out", str(tmp_path / "true.nwk")])
+        assert rc == 0
+        from repro.seq.io_phylip import read_phylip
+
+        aln = read_phylip(out)
+        assert aln.n_taxa == 6 and aln.n_sites == 120
+        parse_newick((tmp_path / "true.nwk").read_text())
+
+    def test_convert_round_trip(self, fasta_path, tmp_path):
+        rba = tmp_path / "x.rba"
+        back = tmp_path / "y.fasta"
+        assert main(["convert", str(fasta_path), str(rba)]) == 0
+        assert main(["convert", str(rba), str(back)]) == 0
+        assert read_fasta(back) == read_fasta(fasta_path)
+
+    def test_bad_output_format(self, fasta_path, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["convert", str(fasta_path), str(tmp_path / "x.unknown")])
+
+
+class TestReport:
+    def test_report_runs(self, fasta_path, capsys):
+        rc = main(["report", str(fasta_path), "-n", "1", "-r", "1",
+                   "--ranks", "48", "96"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "traversal descriptor" in out
+        assert "ExaML" in out

@@ -1,0 +1,138 @@
+"""Virtual-MPI layer tests: payload sizing, deterministic reductions,
+the sequential backend, and the real multiprocessing backend."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommError
+from repro.par.comm import ReduceOp, apply_reduce, payload_nbytes
+from repro.par.mpcomm import run_mpi
+from repro.par.seqcomm import SequentialComm
+
+
+class TestPayloadBytes:
+    def test_none_is_free(self):
+        assert payload_nbytes(None) == 0
+
+    def test_scalar_is_eight(self):
+        assert payload_nbytes(3.14) == 8
+        assert payload_nbytes(7) == 8
+
+    def test_array_counts_buffer(self):
+        assert payload_nbytes(np.zeros(10)) == 80
+        assert payload_nbytes(np.zeros(10, dtype=np.float32)) == 40
+
+    def test_paper_example(self):
+        # "an MPI_Allreduce on 3 MPI_DOUBLE values is counted as 24 bytes"
+        assert payload_nbytes(np.zeros(3)) == 24
+
+    def test_nested_structures(self):
+        assert payload_nbytes((1.0, 2.0)) == 4 + 16
+        assert payload_nbytes({"a": np.zeros(2)}) == 4 + 1 + 16
+
+
+class TestApplyReduce:
+    def test_sum_arrays_in_rank_order(self):
+        vals = [np.array([1.0, 2.0]), np.array([3.0, 4.0])]
+        out = apply_reduce(ReduceOp.SUM, vals)
+        assert np.allclose(out, [4.0, 6.0])
+
+    def test_max_min(self):
+        assert apply_reduce(ReduceOp.MAX, [1.0, 5.0, 3.0]) == 5.0
+        assert apply_reduce(ReduceOp.MIN, [1.0, 5.0, 3.0]) == 1.0
+
+    def test_determinism(self):
+        rng = np.random.default_rng(0)
+        vals = [rng.random(100) for _ in range(8)]
+        a = apply_reduce(ReduceOp.SUM, vals)
+        b = apply_reduce(ReduceOp.SUM, vals)
+        assert np.array_equal(a, b)  # bitwise
+
+    def test_empty_rejected(self):
+        with pytest.raises(CommError):
+            apply_reduce(ReduceOp.SUM, [])
+
+
+class TestSequentialComm:
+    def test_identities(self):
+        comm = SequentialComm()
+        assert comm.size == 1 and comm.rank == 0
+        assert comm.bcast(42, tag="x") == 42
+        assert comm.allreduce(np.array([2.0]))[0] == 2.0
+        assert comm.gather("a") == ["a"]
+        assert comm.scatter(["only"]) == "only"
+
+    def test_byte_accounting(self):
+        comm = SequentialComm()
+        comm.bcast(np.zeros(4), tag="model")
+        comm.allreduce(np.zeros(2), tag="likelihood")
+        assert comm.bytes_by_tag["model"] == 32
+        assert comm.bytes_by_tag["likelihood"] == 16
+
+    def test_p2p_rejected(self):
+        comm = SequentialComm()
+        with pytest.raises(CommError):
+            comm.send(1, dest=0)
+
+
+def _collective_worker(comm, payload):
+    rank, size = comm.rank, comm.size
+    out = {}
+    out["bcast"] = comm.bcast("hello" if rank == 0 else None)
+    out["allreduce"] = comm.allreduce(np.array([float(rank + 1)]))
+    reduced = comm.reduce(np.array([float(rank)]), ReduceOp.SUM)
+    out["reduce"] = None if reduced is None else float(reduced[0])
+    comm.barrier()
+    gathered = comm.gather(rank * 10)
+    out["gather"] = gathered
+    out["scatter"] = comm.scatter(
+        [f"part{r}" for r in range(size)] if rank == 0 else None
+    )
+    if size > 1:
+        if rank == 0:
+            comm.send("ping", dest=1)
+        elif rank == 1:
+            out["p2p"] = comm.recv(source=0)
+    return out
+
+
+class TestMPComm:
+    def test_collectives_three_ranks(self):
+        results = run_mpi(3, _collective_worker)
+        for r, res in enumerate(results):
+            assert res["bcast"] == "hello"
+            assert res["allreduce"][0] == 6.0  # 1+2+3
+            assert res["scatter"] == f"part{r}"
+        assert results[0]["reduce"] == 3.0  # 0+1+2 at root
+        assert results[1]["reduce"] is None
+        assert results[0]["gather"] == [0, 10, 20]
+        assert results[1]["gather"] is None
+        assert results[1]["p2p"] == "ping"
+
+    def test_single_rank_uses_sequential(self):
+        results = run_mpi(1, _collective_worker)
+        assert results[0]["bcast"] == "hello"
+
+    def test_child_error_propagates(self):
+        def boom(comm, payload):
+            if comm.rank == 1:
+                raise ValueError("intentional")
+            comm.barrier()
+
+        with pytest.raises(CommError, match="intentional"):
+            run_mpi(2, boom, timeout=30)
+
+    def test_allreduce_bitwise_identical_across_ranks(self):
+        def worker(comm, payload):
+            rng = np.random.default_rng(comm.rank)
+            return comm.allreduce(rng.random(50))
+
+        results = run_mpi(3, worker)
+        assert np.array_equal(results[0], results[1])
+        assert np.array_equal(results[1], results[2])
+
+    def test_payload_validation(self):
+        with pytest.raises(CommError):
+            run_mpi(2, _collective_worker, payloads=[1])
+        with pytest.raises(CommError):
+            run_mpi(0, _collective_worker)

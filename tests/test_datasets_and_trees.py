@@ -1,0 +1,105 @@
+"""Dataset generators and random-tree utilities."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    LARGE_UNIQUE_PATTERNS,
+    PARTITION_SERIES,
+    large_unpartitioned_workload,
+    partitioned_workload,
+)
+from repro.datasets.generators import LARGE_N_TAXA
+from repro.errors import TreeError
+from repro.tree.distances import same_topology
+from repro.tree.random_trees import random_topology, yule_tree
+
+
+class TestRandomTrees:
+    def test_random_topology_valid(self):
+        taxa = [f"t{i}" for i in range(15)]
+        tree = random_topology(taxa, rng=0)
+        tree.validate()
+        assert sorted(n.label for n in tree.leaves()) == sorted(taxa)
+
+    def test_seed_determinism(self):
+        taxa = [f"t{i}" for i in range(10)]
+        t1 = random_topology(taxa, rng=7)
+        t2 = random_topology(taxa, rng=7)
+        assert same_topology(t1, t2)
+
+    def test_different_seeds_differ(self):
+        taxa = [f"t{i}" for i in range(12)]
+        t1 = random_topology(taxa, rng=1)
+        t2 = random_topology(taxa, rng=2)
+        assert not same_topology(t1, t2)
+
+    def test_yule_branch_lengths_positive(self):
+        tree = yule_tree([f"t{i}" for i in range(8)], rng=3,
+                         mean_branch_length=0.2)
+        for u, v in tree.edges():
+            assert tree.edge_length(u, v)[0] > 0
+
+    def test_too_few_taxa(self):
+        with pytest.raises(TreeError):
+            random_topology(["a", "b"], rng=0)
+        with pytest.raises(TreeError):
+            yule_tree([f"t{i}" for i in range(5)], mean_branch_length=0.0)
+
+
+class TestPartitionedWorkload:
+    def test_dimensions(self):
+        wl = partitioned_workload(5, n_taxa=12, sites_per_partition=30)
+        assert wl.alignment.n_taxa == 12
+        assert wl.alignment.n_sites == 150
+        assert len(wl.scheme) == 5
+        wl.tree.validate()
+
+    def test_virtual_scale(self):
+        wl = partitioned_workload(
+            3, sites_per_partition=20, virtual_sites_per_partition=1000
+        )
+        assert wl.pattern_scale == pytest.approx(50.0)
+        lik = wl.build_likelihood("gamma")
+        # virtual cost patterns ≈ the paper's ~1000bp genes
+        for part in lik.parts:
+            assert part.cost_patterns == pytest.approx(1000.0, rel=0.25)
+
+    def test_determinism(self):
+        a = partitioned_workload(4, sites_per_partition=20)
+        b = partitioned_workload(4, sites_per_partition=20)
+        assert a.alignment == b.alignment
+        assert same_topology(a.tree, b.tree)
+
+    def test_per_gene_heterogeneity_visible(self):
+        wl = partitioned_workload(8, sites_per_partition=60)
+        lik = wl.build_likelihood("gamma")
+        freqs = np.array([p.model.frequencies for p in lik.parts])
+        # different genes got different compositions
+        assert freqs.std(axis=0).max() > 0.005
+
+    def test_series_constant(self):
+        assert PARTITION_SERIES == (10, 50, 100, 500, 1000)
+
+    def test_build_per_partition_branches(self):
+        wl = partitioned_workload(3, n_taxa=8, sites_per_partition=20)
+        lik = wl.build_likelihood("gamma", per_partition_branches=True)
+        assert lik.tree.n_branch_sets == 3
+        assert [p.branch_set for p in lik.parts] == [0, 1, 2]
+
+
+class TestLargeWorkload:
+    def test_dimensions_and_scale(self):
+        wl = large_unpartitioned_workload(real_sites=200)
+        assert wl.alignment.n_taxa == LARGE_N_TAXA
+        lik = wl.build_likelihood("psr")
+        total = sum(p.cost_patterns for p in lik.parts)
+        assert total == pytest.approx(LARGE_UNIQUE_PATTERNS, rel=0.01)
+
+    def test_memory_model_matches_paper_quote(self):
+        """The paper quotes ~1 TB for 1500 taxa x 20M sites under a
+        single-rate model; our CLV byte model should be in that ballpark
+        when scaled to those dimensions."""
+        # (1500-2) inner CLVs x 12.6M patterns x 1 cat x 4 states x 8 B
+        clv_bytes = 1498 * 12_597_450 * 1 * 4 * 8
+        assert 0.3e12 < clv_bytes < 1.2e12

@@ -1,0 +1,155 @@
+"""Data-distribution tests: cyclic, MPS/LPT, and local-share splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.distributions import (
+    auto_distribution,
+    cyclic_distribution,
+    mps_distribution,
+    split_local_data,
+)
+from repro.dist.mps import lpt_schedule, refine_schedule, schedule_makespan
+from repro.errors import DistributionError
+
+
+class TestLPT:
+    def test_basic_balance(self):
+        loads = np.array([7.0, 5, 4, 3, 1])
+        assign = lpt_schedule(loads, 2)
+        makespan = schedule_makespan(loads, assign, 2)
+        assert makespan == 10.0  # optimal here
+
+    def test_graham_bound(self):
+        # any greedy list schedule obeys makespan <= sum/m + (1-1/m)*max;
+        # LPT is strictly better but OPT is unknown, so test the safe bound
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            loads = rng.uniform(1, 100, 30)
+            ranks = 4
+            assign = lpt_schedule(loads, ranks)
+            makespan = schedule_makespan(loads, assign, ranks)
+            bound = loads.sum() / ranks + (1 - 1 / ranks) * loads.max()
+            assert makespan <= bound + 1e-9
+
+    def test_deterministic(self):
+        loads = np.array([3.0, 3, 3, 3])
+        a1 = lpt_schedule(loads, 2)
+        a2 = lpt_schedule(loads, 2)
+        assert np.array_equal(a1, a2)
+
+    def test_refine_never_hurts(self):
+        rng = np.random.default_rng(9)
+        loads = rng.uniform(1, 50, 40)
+        assign = lpt_schedule(loads, 5)
+        before = schedule_makespan(loads, assign, 5)
+        refined = refine_schedule(loads, assign, 5)
+        after = schedule_makespan(loads, refined, 5)
+        assert after <= before
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            lpt_schedule(np.array([]), 2)
+        with pytest.raises(DistributionError):
+            lpt_schedule(np.array([-1.0]), 2)
+        with pytest.raises(DistributionError):
+            lpt_schedule(np.array([1.0]), 0)
+
+    @given(
+        st.lists(st.floats(0.1, 1000.0), min_size=1, max_size=60),
+        st.integers(1, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_assigned_and_bounded(self, loads, ranks):
+        loads = np.array(loads)
+        assign = lpt_schedule(loads, ranks)
+        assert assign.shape == loads.shape
+        assert assign.min() >= 0 and assign.max() < ranks
+        makespan = schedule_makespan(loads, assign, ranks)
+        bound = loads.sum() / ranks + (1 - 1 / ranks) * loads.max()
+        assert makespan <= bound + 1e-6
+
+
+class TestCyclic:
+    def test_conserves_patterns(self):
+        cp = np.array([1000.0, 500.0, 333.0])
+        dist = cyclic_distribution(cp, 7)
+        assert np.allclose(dist.owned.sum(axis=0), cp)
+
+    def test_every_rank_touches_every_partition(self):
+        dist = cyclic_distribution(np.array([100.0, 50.0]), 4)
+        assert np.all(dist.owned > 0)
+
+    def test_near_perfect_balance(self):
+        dist = cyclic_distribution(np.array([997.0, 499.0]), 8)
+        assert dist.balance() > 0.99
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            cyclic_distribution(np.array([0.0]), 2)
+        with pytest.raises(DistributionError):
+            cyclic_distribution(np.array([10.0]), 0)
+
+
+class TestMPS:
+    def test_monolithic_assignment(self):
+        cp = np.full(100, 50.0)
+        dist = mps_distribution(cp, 8)
+        # every partition lives on exactly one rank
+        assert np.all((dist.owned > 0).sum(axis=0) == 1)
+        assert np.allclose(dist.owned.sum(axis=0), cp)
+
+    def test_needs_enough_partitions(self):
+        with pytest.raises(DistributionError, match="MPS needs"):
+            mps_distribution(np.array([10.0, 20.0]), 4)
+
+    def test_balance_reasonable(self):
+        rng = np.random.default_rng(2)
+        cp = rng.uniform(500, 1500, 500)
+        dist = mps_distribution(cp, 48)
+        assert dist.balance() > 0.9
+
+    def test_auto_selects_mps_when_many_partitions(self):
+        cp = np.full(1000, 10.0)
+        assert auto_distribution(cp, 192).kind == "mps"
+        assert auto_distribution(np.full(10, 10.0), 192).kind == "cyclic"
+        assert auto_distribution(cp, 192, use_mps=False).kind == "cyclic"
+
+
+class TestSplitLocalData:
+    def _parts(self, sim_dataset):
+        from repro.likelihood.partitioned import PartitionedLikelihood
+        from repro.seq.partitions import PartitionScheme
+
+        aln, tree, _ = sim_dataset
+        scheme = PartitionScheme.contiguous_blocks([400, 400, 400])
+        lik = PartitionedLikelihood.build(aln, tree.copy(), scheme=scheme,
+                                          rate_mode="none")
+        return lik.parts
+
+    def test_cyclic_shares_cover_all_patterns(self, sim_dataset):
+        parts = self._parts(sim_dataset)
+        n_ranks = 3
+        for j, part in enumerate(parts):
+            total = sum(
+                split_local_data(parts, r, n_ranks, "cyclic")[j].weights.sum()
+                for r in range(n_ranks)
+            )
+            assert total == pytest.approx(part.weights.sum(), abs=1e-6)
+
+    def test_mps_shares_are_whole_partitions(self, sim_dataset):
+        parts = self._parts(sim_dataset)
+        owners = []
+        for r in range(2):
+            local = split_local_data(parts, r, 2, "mps")
+            owners.append([p.weights.sum() > 1.0 for p in local])
+        # each partition fully owned by exactly one rank
+        for j in range(len(parts)):
+            assert sum(owners[r][j] for r in range(2)) == 1
+
+    def test_unknown_kind(self, sim_dataset):
+        parts = self._parts(sim_dataset)
+        with pytest.raises(DistributionError):
+            split_local_data(parts, 0, 2, "roundrobin")

@@ -1,0 +1,63 @@
+"""Robinson–Foulds distance tests."""
+
+import pytest
+
+from repro.errors import TreeError
+from repro.tree.distances import bipartitions, rf_distance, same_topology
+from repro.tree.newick import parse_newick
+from repro.tree.random_trees import random_topology
+from repro.tree.rearrange import nni_swap
+
+
+class TestBipartitions:
+    def test_star_has_no_splits(self):
+        t = parse_newick("(A:1,B:1,C:1);")
+        assert bipartitions(t) == set()
+
+    def test_quartet_has_one_split(self):
+        t = parse_newick("((A:1,B:1):1,C:1,D:1);")
+        splits = bipartitions(t)
+        assert splits == {frozenset({"A", "B"})}
+
+    def test_split_count_is_inner_edges(self):
+        taxa = [f"t{i}" for i in range(12)]
+        t = random_topology(taxa, rng=0)
+        inner_edges = sum(
+            1 for u, v in t.edges() if not u.is_leaf and not v.is_leaf
+        )
+        assert len(bipartitions(t)) == inner_edges
+
+
+class TestRFDistance:
+    def test_identity(self):
+        t = parse_newick("((A:1,B:1):1,(C:1,D:1):1,E:1);")
+        assert rf_distance(t, t.copy()) == 0
+        assert same_topology(t, t.copy())
+
+    def test_invariant_to_branch_lengths(self):
+        t1 = parse_newick("((A:1,B:1):1,C:1,D:1);")
+        t2 = parse_newick("((A:9,B:9):9,C:9,D:9);")
+        assert same_topology(t1, t2)
+
+    def test_nni_changes_distance_by_two(self):
+        taxa = [f"t{i}" for i in range(8)]
+        t = random_topology(taxa, rng=3)
+        clone = t.copy()
+        inner = [
+            (u, v) for u, v in clone.edges() if not u.is_leaf and not v.is_leaf
+        ]
+        nni_swap(clone, *inner[0], 0)
+        assert rf_distance(t, clone) == 2
+
+    def test_different_taxa_rejected(self):
+        t1 = parse_newick("(A:1,B:1,C:1);")
+        t2 = parse_newick("(A:1,B:1,D:1);")
+        with pytest.raises(TreeError):
+            rf_distance(t1, t2)
+
+    def test_max_distance(self):
+        # caterpillar vs a very different shape
+        t1 = parse_newick("((((A:1,B:1):1,C:1):1,D:1):1,E:1,F:1);")
+        t2 = parse_newick("((A:1,F:1):1,(C:1,D:1):1,(B:1,E:1):1);")
+        d = rf_distance(t1, t2)
+        assert d == len(bipartitions(t1)) + len(bipartitions(t2))

@@ -1,0 +1,172 @@
+"""Engine communication-model tests: the paper's core claims in byte form."""
+
+import numpy as np
+import pytest
+
+from repro.engines.decentral import DecentralizedCommModel
+from repro.engines.events import EventLog, Region, RegionKind
+from repro.engines.forkjoin import (
+    CAT_BL_OPT,
+    CAT_LIKELIHOOD,
+    CAT_MODEL,
+    CAT_TRAVERSAL,
+    ForkJoinCommModel,
+    descriptor_nbytes,
+)
+
+
+def region(kind, p=10, nbs=1, ops=5.0):
+    return Region(kind=kind, n_partitions=p, n_branch_sets=nbs, newview_ops=ops)
+
+
+class TestDescriptorBytes:
+    def test_grows_with_ops(self):
+        assert descriptor_nbytes(10, 1) > descriptor_nbytes(5, 1)
+
+    def test_grows_with_partitions(self):
+        # the paper's central observation: partitioned descriptors are fat
+        assert descriptor_nbytes(5, 1000) > 50 * descriptor_nbytes(5, 10)
+
+    def test_paper_style_size(self):
+        # a 5-op descriptor on an unpartitioned dataset is tiny (~164 B)
+        assert descriptor_nbytes(5, 1) == 4 + 5 * (16 + 16)
+
+
+class TestForkJoinMapping:
+    model = ForkJoinCommModel()
+
+    def test_every_likelihood_region_broadcasts_a_descriptor(self):
+        for kind in (RegionKind.TRAVERSE, RegionKind.EVALUATE,
+                     RegionKind.BRANCH_SETUP, RegionKind.PSR_SCAN):
+            events = self.model.region_events(region(kind))
+            assert any(
+                e.collective == "bcast" and e.category == CAT_TRAVERSAL
+                for e in events
+            )
+
+    def test_evaluate_reduces_per_partition_likelihoods(self):
+        events = self.model.region_events(region(RegionKind.EVALUATE, p=37))
+        reduce = [e for e in events if e.collective == "reduce"]
+        assert reduce[0].nbytes == 8 * 37
+        assert reduce[0].category == CAT_LIKELIHOOD
+
+    def test_derivative_bytes_scale_with_branch_sets(self):
+        joint = self.model.region_events(region(RegionKind.DERIVATIVE, nbs=1))
+        per_part = self.model.region_events(
+            region(RegionKind.DERIVATIVE, nbs=100)
+        )
+        assert sum(e.nbytes for e in per_part) == 100 * sum(
+            e.nbytes for e in joint
+        )
+        assert all(e.category == CAT_BL_OPT for e in joint)
+
+    def test_param_broadcasts(self):
+        alpha = self.model.region_events(region(RegionKind.PARAM_ALPHA, p=50))
+        assert alpha[0].nbytes == 8 * 50
+        gtr = self.model.region_events(region(RegionKind.PARAM_GTR, p=50))
+        assert gtr[0].nbytes == 6 * 8 * 50
+        assert all(e.category == CAT_MODEL for e in alpha + gtr)
+
+    def test_byte_totals_has_all_categories(self):
+        log = EventLog([region(RegionKind.EVALUATE), region(RegionKind.DERIVATIVE)])
+        totals = self.model.byte_totals(log)
+        assert set(totals) == {CAT_BL_OPT, CAT_LIKELIHOOD, CAT_MODEL, CAT_TRAVERSAL}
+
+
+class TestDecentralizedMapping:
+    model = DecentralizedCommModel()
+
+    def test_no_descriptor_broadcasts_ever(self):
+        # the paper's contribution in one assertion
+        for kind in RegionKind:
+            events = self.model.region_events(
+                region(kind, p=1000, nbs=1000, ops=50.0)
+            )
+            assert all(e.collective == "allreduce" for e in events)
+            assert all(e.category != CAT_TRAVERSAL for e in events)
+
+    def test_silent_regions(self):
+        for kind in (RegionKind.TRAVERSE, RegionKind.BRANCH_SETUP,
+                     RegionKind.PARAM_ALPHA, RegionKind.PARAM_GTR,
+                     RegionKind.PSR_SCAN):
+            assert self.model.region_events(region(kind)) == []
+
+    def test_allreduce_sites(self):
+        ev = self.model.region_events(region(RegionKind.EVALUATE, p=10))
+        assert ev[0].nbytes == 80
+        dv = self.model.region_events(region(RegionKind.DERIVATIVE, nbs=10))
+        assert dv[0].nbytes == 160
+
+    def test_region_count_counts_only_communication(self):
+        log = EventLog(
+            [region(RegionKind.TRAVERSE), region(RegionKind.EVALUATE)]
+        )
+        assert self.model.region_count(log) == 1
+        assert ForkJoinCommModel().region_count(log) == 2
+
+
+class TestPaperInequalities:
+    """The paper's headline byte claims, on a synthetic region stream."""
+
+    def _stream(self, p, nbs):
+        log = EventLog()
+        for _ in range(100):
+            log.append(region(RegionKind.BRANCH_SETUP, p=p, nbs=nbs, ops=4.0))
+            for _ in range(5):
+                log.append(region(RegionKind.DERIVATIVE, p=p, nbs=nbs))
+            log.append(region(RegionKind.EVALUATE, p=p, nbs=nbs, ops=4.0))
+        for _ in range(10):
+            log.append(region(RegionKind.PARAM_ALPHA, p=p, nbs=nbs))
+        return log
+
+    def test_decentralized_moves_far_fewer_bytes(self):
+        log = self._stream(p=100, nbs=1)
+        fj = sum(ForkJoinCommModel().byte_totals(log).values())
+        dc = sum(DecentralizedCommModel().byte_totals(log).values())
+        assert dc < fj / 10
+
+    def test_traversal_dominates_forkjoin_with_joint_branches(self):
+        log = self._stream(p=100, nbs=1)
+        totals = ForkJoinCommModel().byte_totals(log)
+        grand = sum(totals.values())
+        assert totals[CAT_TRAVERSAL] / grand > 0.5
+
+    def test_per_partition_branches_shift_bytes_to_bl_opt(self):
+        joint = ForkJoinCommModel().byte_totals(self._stream(p=100, nbs=1))
+        pp = ForkJoinCommModel().byte_totals(self._stream(p=100, nbs=100))
+        share_joint = joint[CAT_BL_OPT] / sum(joint.values())
+        share_pp = pp[CAT_BL_OPT] / sum(pp.values())
+        assert share_pp > 5 * share_joint
+
+    def test_bytes_grow_with_partition_count(self):
+        small = sum(ForkJoinCommModel().byte_totals(self._stream(10, 1)).values())
+        big = sum(ForkJoinCommModel().byte_totals(self._stream(1000, 1)).values())
+        assert big > 50 * small
+
+
+class TestEventLog:
+    def test_counting(self):
+        log = EventLog([region(RegionKind.EVALUATE), region(RegionKind.EVALUATE),
+                        region(RegionKind.DERIVATIVE)])
+        assert log.count() == 3
+        assert log.count(RegionKind.EVALUATE) == 2
+
+    def test_validate_rejects_bad_vectors(self):
+        bad = Region(kind=RegionKind.EVALUATE, n_partitions=3,
+                     n_branch_sets=1, newview_ops=np.ones(2))
+        log = EventLog([bad])
+        with pytest.raises(Exception):
+            log.validate()
+
+    def test_ops_vector_scalar_expansion(self):
+        r = region(RegionKind.TRAVERSE, p=4, ops=7.0)
+        assert np.allclose(r.ops_vector(), 7.0)
+        assert r.max_ops() == 7.0
+
+    def test_kernel_ops_by_kind(self):
+        from repro.par.ledger import OpKind
+
+        assert OpKind.NEWVIEW in region(RegionKind.TRAVERSE).kernel_ops()
+        assert OpKind.EVALUATE in region(RegionKind.EVALUATE).kernel_ops()
+        assert OpKind.SUMTABLE in region(RegionKind.BRANCH_SETUP).kernel_ops()
+        assert region(RegionKind.PARAM_ALPHA).kernel_ops() == {}

@@ -1,0 +1,130 @@
+"""Worker-kernel executor, report formatting and ledger tests."""
+
+import numpy as np
+import pytest
+
+from repro.engines.events import EventLog, Region, RegionKind
+from repro.engines.executor import DescriptorExecutor
+from repro.errors import CommError
+from repro.likelihood.partitioned import PartitionedLikelihood
+from repro.par.ledger import ComputeItem, OpKind, WorkLedger
+from repro.perf.report import format_runtime_table, format_table1, table1_rows
+from repro.perf.runtime_sim import RuntimeReport
+from repro.tree.traversal import full_traversal
+
+
+@pytest.fixture()
+def setup(sim_dataset):
+    """A likelihood plus the wire descriptor reaching one edge."""
+    aln, true_tree, _ = sim_dataset
+    lik = PartitionedLikelihood.build(aln, true_tree.copy(), rate_mode="gamma")
+    tree = lik.tree
+    u, v = tree.edges()[0]
+    desc = full_traversal(tree, u, v)
+    wire = []
+    for op in desc.ops:
+        node = tree.node(op.node)
+        ta = tree.edge_length(node, tree.node(op.child_a)).copy()
+        tb = tree.edge_length(node, tree.node(op.child_b)).copy()
+        wire.append((op.node, op.toward, op.child_a, op.child_b, ta, tb))
+    node_taxon = {
+        leaf.id: lik.taxon_row[leaf.label] for leaf in tree.leaves()
+    }
+    return lik, u, v, wire, node_taxon
+
+
+class TestDescriptorExecutor:
+    def test_matches_tree_aware_evaluation(self, setup):
+        lik, u, v, wire, node_taxon = setup
+        executor = DescriptorExecutor(lik.parts, node_taxon)
+        executor.run_ops(wire)
+        per_part, site_lhs = executor.evaluate(
+            u.id, v.id, lik.tree.edge_length(u, v)
+        )
+        total_ref, per_ref, _ = lik.evaluate(u, v)
+        assert np.allclose(per_part, per_ref, rtol=1e-12)
+        assert site_lhs[0].shape == (lik.parts[0].n_patterns,)
+
+    def test_derivatives_match(self, setup):
+        lik, u, v, wire, node_taxon = setup
+        executor = DescriptorExecutor(lik.parts, node_taxon)
+        executor.run_ops(wire)
+        tables = executor.sumtables(u.id, v.id)
+        t = lik.tree.edge_length(u, v)
+        d = executor.derivatives(tables, t, n_branch_sets=1)
+        ws = lik.prepare_branch(u, v)
+        d1_ref, d2_ref = lik.branch_derivatives(ws, t)
+        assert d[0][0] == pytest.approx(d1_ref.sum(), rel=1e-9)
+        assert d[1][0] == pytest.approx(d2_ref.sum(), rel=1e-9)
+
+    def test_unknown_clv_is_loud(self, setup):
+        lik, u, v, wire, node_taxon = setup
+        executor = DescriptorExecutor(lik.parts, node_taxon)
+        with pytest.raises(CommError, match="unknown CLV"):
+            executor.evaluate(u.id, v.id, lik.tree.edge_length(u, v))
+
+    def test_clear_clvs(self, setup):
+        lik, u, v, wire, node_taxon = setup
+        executor = DescriptorExecutor(lik.parts, node_taxon)
+        executor.run_ops(wire)
+        executor.clear_clvs()
+        with pytest.raises(CommError):
+            executor.evaluate(u.id, v.id, lik.tree.edge_length(u, v))
+
+
+class TestWorkLedger:
+    def test_charge_and_query(self):
+        ledger = WorkLedger()
+        ledger.charge(ComputeItem(OpKind.NEWVIEW, 0, 100.0, 4, count=3))
+        ledger.charge(ComputeItem(OpKind.EVALUATE, 0, 100.0, 4))
+        assert ledger.pattern_ops(OpKind.NEWVIEW) == 100 * 4 * 3
+        assert ledger.invocations() == 4
+        assert ledger.invocations(OpKind.EVALUATE) == 1
+
+    def test_merge_and_clear(self):
+        a, b = WorkLedger(), WorkLedger()
+        a.charge(ComputeItem(OpKind.NEWVIEW, 0, 10.0, 1))
+        b.charge(ComputeItem(OpKind.NEWVIEW, 0, 5.0, 1))
+        a.merge(b)
+        assert a.pattern_ops() == 15.0
+        a.clear()
+        assert a.pattern_ops() == 0.0
+
+    def test_likelihood_charges_ledger(self, sim_dataset):
+        aln, true_tree, _ = sim_dataset
+        lik = PartitionedLikelihood.build(aln, true_tree.copy(), rate_mode="gamma")
+        u, v = lik.tree.edges()[0]
+        lik.evaluate(u, v)
+        assert lik.ledger.invocations(OpKind.NEWVIEW) > 0
+        assert lik.ledger.invocations(OpKind.EVALUATE) == 1
+
+
+class TestReportFormatting:
+    def _log(self):
+        return EventLog([
+            Region(RegionKind.EVALUATE, 10, 1, newview_ops=4.0),
+            Region(RegionKind.DERIVATIVE, 10, 1),
+        ])
+
+    def test_table1_rows_complete(self):
+        rows = table1_rows(self._log())
+        assert rows["# parallel regions"] == 2
+        pct = [v for k, v in rows.items() if k.endswith("[%]")]
+        assert sum(pct) == pytest.approx(100.0)
+
+    def test_format_table1_renders(self):
+        text = format_table1({"Γ, joint": self._log(), "PSR, joint": self._log()})
+        assert "traversal descriptor [%]" in text
+        assert "Γ, joint" in text
+        assert len(text.splitlines()) == 7
+
+    def test_format_runtime_table(self):
+        ex = RuntimeReport("ExaML", 192, 10.0, 1.0, 1.0, 5, 5)
+        li = RuntimeReport("Light", 192, 10.0, 5.0, 1.0, 5, 5)
+        text = format_runtime_table([("p=100, Γ", ex, li)])
+        assert "1.36" in text  # 15/11
+        assert "p=100" in text
+
+    def test_empty_log(self):
+        rows = table1_rows(EventLog())
+        assert rows["# bytes communicated (MB)"] == 0.0

@@ -1,0 +1,92 @@
+"""Fault-tolerance tests (paper Section V future work)."""
+
+import numpy as np
+import pytest
+
+from repro.dist.distributions import cyclic_distribution, mps_distribution
+from repro.engines.fault import (
+    forkjoin_failure_outcome,
+    recovery_time,
+    redistribute_after_failure,
+)
+from repro.errors import DistributionError
+from repro.par.machine import HITS_CLUSTER
+
+
+@pytest.fixture()
+def mps_dist():
+    rng = np.random.default_rng(1)
+    return mps_distribution(rng.uniform(800, 1200, 100), 16)
+
+
+@pytest.fixture()
+def cyclic_dist():
+    return cyclic_distribution(np.full(10, 1000.0), 16)
+
+
+class TestRedistribution:
+    def test_mps_recovery_conserves_data(self, mps_dist):
+        report = redistribute_after_failure(mps_dist, [3, 7])
+        assert report.recoverable
+        assert report.survivors == 14
+        new = report.new_distribution
+        assert new.owned.sum() == pytest.approx(mps_dist.owned.sum())
+        # still monolithic: one owner per partition
+        assert np.all((new.owned > 0).sum(axis=0) == 1)
+
+    def test_mps_survivors_keep_their_partitions(self, mps_dist):
+        report = redistribute_after_failure(mps_dist, [0])
+        survivors = list(range(1, 16))
+        assert np.all(
+            report.new_distribution.owned >= mps_dist.owned[survivors] - 1e-9
+        )
+
+    def test_cyclic_recovery_spreads_evenly(self, cyclic_dist):
+        report = redistribute_after_failure(cyclic_dist, [5])
+        new = report.new_distribution
+        assert new.owned.sum() == pytest.approx(cyclic_dist.owned.sum())
+        assert new.balance() > 0.99
+
+    def test_bytes_moved_matches_lost_share(self, cyclic_dist):
+        report = redistribute_after_failure(cyclic_dist, [5], bytes_per_pattern=8.0)
+        lost = cyclic_dist.owned[5].sum()
+        assert report.bytes_moved == pytest.approx(lost * 8.0)
+
+    def test_all_ranks_failed_rejected(self, cyclic_dist):
+        with pytest.raises(DistributionError):
+            redistribute_after_failure(cyclic_dist, list(range(16)))
+
+    def test_bad_rank_rejected(self, cyclic_dist):
+        with pytest.raises(DistributionError):
+            redistribute_after_failure(cyclic_dist, [99])
+        with pytest.raises(DistributionError):
+            redistribute_after_failure(cyclic_dist, [])
+
+
+class TestRecoveryTime:
+    def test_finite_and_small(self, mps_dist):
+        report = redistribute_after_failure(mps_dist, [1, 2])
+        t = recovery_time(report, HITS_CLUSTER)
+        assert 0 < t < 10.0
+
+    def test_more_failures_cost_more(self, mps_dist):
+        t1 = recovery_time(
+            redistribute_after_failure(mps_dist, [1]), HITS_CLUSTER
+        )
+        t4 = recovery_time(
+            redistribute_after_failure(mps_dist, [1, 2, 3, 4]), HITS_CLUSTER
+        )
+        assert t4 > t1
+
+
+class TestForkJoinContrast:
+    def test_master_failure_catastrophic(self):
+        report = forkjoin_failure_outcome([0])
+        assert not report.recoverable
+        assert "master" in report.reason
+        assert recovery_time(report, HITS_CLUSTER) == float("inf")
+
+    def test_worker_failure_still_fatal(self):
+        report = forkjoin_failure_outcome([11])
+        assert not report.recoverable
+        assert "checkpoint" in report.reason

@@ -1,0 +1,78 @@
+"""Cross-validation: the fork-join *communication model* against the
+bytes a *real* distributed fork-join run actually transmits.
+
+The Table-I model prices descriptors and payloads analytically; the real
+master/worker implementation counts the bytes of every object it puts on
+the wire.  The two are built independently, so order-of-magnitude (and
+per-category ranking) agreement is strong evidence the model measures the
+real protocol rather than itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import partitioned_workload
+from repro.engines.forkjoin import (
+    CAT_BL_OPT,
+    CAT_LIKELIHOOD,
+    CAT_MODEL,
+    CAT_TRAVERSAL,
+    ForkJoinCommModel,
+)
+from repro.engines.launch import run_forkjoin
+from repro.engines.recording import RecordingBackend
+from repro.search.search import SearchConfig, hill_climb
+from repro.tree.newick import write_newick
+
+
+@pytest.fixture(scope="module")
+def measured_and_modeled():
+    wl = partitioned_workload(4, n_taxa=8, sites_per_partition=30)
+    lik = wl.build_likelihood("gamma")
+    newick = write_newick(wl.tree)
+    cfg = SearchConfig(max_iterations=1, radius_max=2, alpha_iterations=6)
+
+    real = run_forkjoin(lik.parts, lik.taxa, newick, n_ranks=2, config=cfg)
+
+    lik2 = wl.build_likelihood("gamma")
+    from repro.tree.newick import parse_newick
+
+    lik2 = type(lik2)(parse_newick(newick), lik2.parts, lik2.taxa)
+    rec = RecordingBackend(lik2)
+    hill_climb(rec, cfg)
+    modeled = ForkJoinCommModel().byte_totals(rec.log)
+    return real.bytes_by_tag, modeled
+
+
+class TestModelAgainstWire:
+    def test_categories_present_in_both(self, measured_and_modeled):
+        real, modeled = measured_and_modeled
+        for cat in (CAT_TRAVERSAL, CAT_BL_OPT, CAT_LIKELIHOOD):
+            assert real.get(cat, 0) > 0, cat
+            assert modeled[cat] > 0, cat
+
+    def test_same_dominant_category(self, measured_and_modeled):
+        real, modeled = measured_and_modeled
+        cats = [CAT_TRAVERSAL, CAT_BL_OPT, CAT_LIKELIHOOD, CAT_MODEL]
+        real_top = max(cats, key=lambda c: real.get(c, 0))
+        model_top = max(cats, key=lambda c: modeled[c])
+        assert real_top == model_top == CAT_TRAVERSAL
+
+    def test_totals_within_factor_four(self, measured_and_modeled):
+        """Wire framing (tuples, small-object overhead, per-rank copies)
+        differs from the idealized byte counts, but not wildly."""
+        real, modeled = measured_and_modeled
+        cats = [CAT_TRAVERSAL, CAT_BL_OPT, CAT_LIKELIHOOD]
+        real_total = sum(real.get(c, 0) for c in cats)
+        model_total = sum(modeled[c] for c in cats)
+        ratio = real_total / model_total
+        assert 0.25 < ratio < 4.0, ratio
+
+    def test_traversal_share_agrees(self, measured_and_modeled):
+        real, modeled = measured_and_modeled
+        cats = [CAT_TRAVERSAL, CAT_BL_OPT, CAT_LIKELIHOOD, CAT_MODEL]
+        share_real = real.get(CAT_TRAVERSAL, 0) / sum(
+            real.get(c, 0) for c in cats
+        )
+        share_model = modeled[CAT_TRAVERSAL] / sum(modeled.values())
+        assert abs(share_real - share_model) < 0.35

@@ -1,0 +1,114 @@
+"""Collective cost-model tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.par.machine import HITS_CLUSTER, MachineSpec
+from repro.par.network import (
+    allreduce_time,
+    barrier_time,
+    bcast_time,
+    collective_time,
+    reduce_time,
+)
+
+M = HITS_CLUSTER
+
+
+class TestBasics:
+    def test_single_rank_is_free(self):
+        assert bcast_time(M, 1, 1000) == 0.0
+        assert allreduce_time(M, 1, 1000) == 0.0
+        assert barrier_time(M, 1) == 0.0
+
+    def test_latency_floor(self):
+        assert bcast_time(M, 2, 0) > 0.0
+        assert barrier_time(M, 96) > barrier_time(M, 2)
+
+    def test_bandwidth_term(self):
+        small = bcast_time(M, 96, 8)
+        big = bcast_time(M, 96, 8 * 1024 * 1024)
+        assert big > small * 10
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ReproError):
+            bcast_time(M, 4, -1)
+
+    def test_too_many_ranks_rejected(self):
+        with pytest.raises(ReproError):
+            bcast_time(M, M.total_cores + 1, 8)
+
+    def test_dispatch(self):
+        for kind in ("bcast", "reduce", "allreduce", "barrier"):
+            assert collective_time(M, 48, kind, 64) >= 0.0
+        with pytest.raises(ReproError):
+            collective_time(M, 48, "alltoall", 64)
+
+
+class TestShape:
+    def test_intra_node_cheaper_than_inter_node(self):
+        # 48 ranks on one node vs 48 ranks spread over 48... we can't spread,
+        # but 2 nodes of 96 must beat naive expectations
+        one_node = allreduce_time(M, 48, 80)
+        two_nodes = allreduce_time(M, 96, 80)
+        assert two_nodes > one_node
+
+    def test_log_scaling_in_nodes(self):
+        t4 = allreduce_time(M, 4 * 48, 8)
+        t32 = allreduce_time(M, 32 * 48, 8)
+        # 3 extra doubling steps, not 8x
+        assert t32 < 3 * t4
+
+    def test_reduce_costs_at_least_bcast(self):
+        assert reduce_time(M, 480, 1024) >= bcast_time(M, 480, 1024)
+
+    def test_large_message_allreduce_uses_rabenseifner(self):
+        # beyond the switch, cost grows ~linearly in size, not log(n)*size
+        n = 16 * 48
+        t1 = allreduce_time(M, n, 64 * 1024)
+        t2 = allreduce_time(M, n, 128 * 1024)
+        assert t2 < 2.5 * t1
+
+    @given(st.integers(2, 2400), st.floats(0, 1e6))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_bytes(self, ranks, nbytes):
+        assert allreduce_time(M, ranks, nbytes) <= allreduce_time(
+            M, ranks, nbytes + 1024
+        )
+
+    @given(st.integers(1, 49))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_nodes(self, nodes):
+        a = bcast_time(M, nodes * 48, 256)
+        b = bcast_time(M, min(50, nodes + 1) * 48, 256)
+        assert b >= a
+
+
+class TestMachineSpec:
+    def test_hits_dimensions(self):
+        assert M.n_nodes == 50
+        assert M.cores_per_node == 48
+        assert M.total_cores == 2400
+
+    def test_nodes_for_ranks(self):
+        assert M.nodes_for_ranks(1) == 1
+        assert M.nodes_for_ranks(48) == 1
+        assert M.nodes_for_ranks(49) == 2
+        assert M.nodes_for_ranks(1536) == 32
+
+    def test_with_ram(self):
+        small = M.with_ram(128 * 1024**3)
+        assert small.ram_per_node_bytes == 128 * 1024**3
+        assert small.n_nodes == M.n_nodes
+
+    def test_invalid_specs(self):
+        with pytest.raises(ReproError):
+            MachineSpec(name="x", n_nodes=0, cores_per_node=1,
+                        ram_per_node_bytes=1.0)
+        with pytest.raises(ReproError):
+            MachineSpec(name="x", n_nodes=1, cores_per_node=1,
+                        ram_per_node_bytes=0.0)
+        with pytest.raises(ReproError):
+            M.nodes_for_ranks(0)

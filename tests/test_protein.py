@@ -1,0 +1,144 @@
+"""Protein-model tests: 20-state substrate, PAML loader, AA likelihood."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.likelihood.backend import SequentialBackend
+from repro.likelihood.optimize_branch import smooth_all_branches
+from repro.likelihood.partitioned import PartitionedLikelihood
+from repro.model.protein import GTR20, N_AA, POISSON, parse_paml_dat, read_paml_dat
+from repro.seq.alphabet import AMINO_ACIDS
+from repro.seq.simulate import simulate_alignment
+from repro.tree.random_trees import random_topology, yule_tree
+
+
+def synthetic_paml_text(seed=0) -> tuple[str, np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    lower = rng.uniform(0.1, 5.0, 190)
+    freqs = rng.dirichlet(np.full(20, 10.0))
+    lines = []
+    k = 0
+    for i in range(1, 20):
+        lines.append(" ".join(f"{lower[k + j]:.6f}" for j in range(i)))
+        k += i
+    lines.append(" ".join(f"{f:.8f}" for f in freqs))
+    return "\n".join(lines), lower, freqs
+
+
+class TestPoisson:
+    def test_dimensions(self):
+        m = POISSON()
+        assert m.n_states == 20
+        q = m.rate_matrix()
+        assert q.shape == (20, 20)
+        assert np.allclose(q.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_mean_rate_one(self):
+        m = POISSON()
+        q = m.rate_matrix()
+        assert -np.dot(m.frequencies, np.diag(q)) == pytest.approx(1.0)
+
+    def test_pmatrix_rows_sum_to_one(self):
+        P = POISSON().eigen().pmatrices(0.5)
+        assert np.allclose(P.sum(axis=1), 1.0, atol=1e-10)
+
+
+class TestGTR20:
+    def test_wrong_rate_count(self):
+        with pytest.raises(ModelError):
+            GTR20(np.ones(6), np.full(20, 0.05))
+
+    def test_detailed_balance(self):
+        rng = np.random.default_rng(1)
+        m = GTR20(rng.uniform(0.2, 3.0, 190), rng.dirichlet(np.full(20, 10.0)))
+        P = m.eigen().pmatrices(0.4)
+        flux = m.frequencies[:, None] * P
+        assert np.allclose(flux, flux.T, atol=1e-12)
+
+
+class TestPamlLoader:
+    def test_round_trip(self):
+        text, lower, freqs = synthetic_paml_text()
+        m = parse_paml_dat(text)
+        assert m.n_states == 20
+        assert np.allclose(m.frequencies, freqs / freqs.sum(), atol=1e-7)
+        # spot-check the triangular re-packing: entry (1,0) of the PAML
+        # block is exchangeability (A,R) = our upper-tri element 0
+        assert m.rates[0] == pytest.approx(lower[0], abs=1e-6)
+
+    def test_comments_tolerated(self):
+        text, _, _ = synthetic_paml_text()
+        m = parse_paml_dat("# empirical matrix\n" + text + "\n\nsome prose\n")
+        assert m.n_states == 20
+
+    def test_truncated_rejected(self):
+        text, _, _ = synthetic_paml_text()
+        with pytest.raises(ModelError, match="found only"):
+            parse_paml_dat("\n".join(text.splitlines()[:5]))
+
+    def test_bad_frequency_sum(self):
+        text, lower, freqs = synthetic_paml_text()
+        lines = text.splitlines()
+        lines[-1] = " ".join("0.5" for _ in range(20))
+        with pytest.raises(ModelError, match="sum"):
+            parse_paml_dat("\n".join(lines))
+
+    def test_read_from_disk(self, tmp_path):
+        text, _, _ = synthetic_paml_text()
+        path = tmp_path / "custom.dat"
+        path.write_text(text)
+        assert read_paml_dat(path).n_states == 20
+
+
+class TestAAPipeline:
+    @pytest.fixture(scope="class")
+    def aa_data(self):
+        taxa = [f"p{i}" for i in range(6)]
+        tree = yule_tree(taxa, rng=3, mean_branch_length=0.2)
+        aln = simulate_alignment(tree, POISSON(), 250, rng=4,
+                                 alphabet=AMINO_ACIDS)
+        return taxa, tree, aln
+
+    def test_simulation_emits_amino_acids(self, aa_data):
+        taxa, tree, aln = aa_data
+        assert aln.alphabet.name == "AA"
+        assert set(aln.sequence(taxa[0])) <= set(AMINO_ACIDS.states)
+
+    def test_likelihood_and_optimization(self, aa_data):
+        taxa, tree, aln = aa_data
+        start = random_topology(taxa, rng=5)
+        lik = PartitionedLikelihood.build(
+            aln, start, rate_mode="gamma", models=[POISSON()]
+        )
+        be = SequentialBackend(lik)
+        u, v = start.edges()[0]
+        l0, _ = be.evaluate(u, v)
+        assert np.isfinite(l0)
+        smooth_all_branches(be, passes=2)
+        l1, _ = be.evaluate(u, v)
+        assert l1 > l0
+
+    def test_pulley_principle_holds_for_aa(self, aa_data):
+        taxa, tree, aln = aa_data
+        lik = PartitionedLikelihood.build(
+            aln, tree.copy(), rate_mode="none", models=[POISSON()]
+        )
+        values = [lik.evaluate(u, v)[0] for u, v in lik.tree.edges()]
+        assert np.ptp(values) < 1e-8
+
+    def test_search_runs_on_aa(self, aa_data):
+        from repro.search.search import SearchConfig, hill_climb
+        from repro.tree.distances import rf_distance
+
+        taxa, tree, aln = aa_data
+        start = random_topology(taxa, rng=6)
+        lik = PartitionedLikelihood.build(
+            aln, start, rate_mode="none", models=[POISSON()]
+        )
+        result = hill_climb(
+            SequentialBackend(lik),
+            SearchConfig(max_iterations=3, radius_max=3, model_opt=False),
+        )
+        assert np.isfinite(result.logl)
+        assert rf_distance(start, tree) <= 2

@@ -1,0 +1,66 @@
+"""Package-level API and error-hierarchy tests."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in (
+            "AlignmentError",
+            "NewickError",
+            "TreeError",
+            "ModelError",
+            "LikelihoodError",
+            "CommError",
+            "DistributionError",
+            "SearchError",
+            "CheckpointError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+            assert issubclass(cls, Exception)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.NewickError("x")
+
+
+class TestTopLevelExports:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_surface(self):
+        """The objects the README quickstart uses are all importable."""
+        from repro import Alignment, PartitionedLikelihood  # noqa: F401
+        from repro.likelihood.backend import SequentialBackend  # noqa: F401
+        from repro.search.search import SearchConfig, hill_climb  # noqa: F401
+        from repro.tree.random_trees import random_topology  # noqa: F401
+
+    def test_engine_surface(self):
+        from repro.engines import (  # noqa: F401
+            DecentralizedCommModel,
+            ForkJoinCommModel,
+            RecordingBackend,
+        )
+        from repro.engines.launch import (  # noqa: F401
+            run_decentralized,
+            run_forkjoin,
+        )
+
+    def test_docstrings_on_public_modules(self):
+        import importlib
+        import pkgutil
+
+        undocumented = []
+        for mod in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(mod.name)
+            if not (module.__doc__ or "").strip():
+                undocumented.append(mod.name)
+        assert not undocumented, undocumented

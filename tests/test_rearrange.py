@@ -1,0 +1,188 @@
+"""NNI / SPR rearrangement tests: correctness of apply and undo."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TreeError
+from repro.tree.distances import rf_distance, same_topology
+from repro.tree.newick import parse_newick, write_newick
+from repro.tree.random_trees import random_topology
+from repro.tree.rearrange import SPRContext, edges_within_radius, nni_swap
+
+
+@pytest.fixture()
+def tree6():
+    return parse_newick(
+        "((A:0.1,B:0.2):0.1,(C:0.3,(D:0.4,E:0.1):0.2):0.2,F:0.5);"
+    )
+
+
+class TestNNI:
+    def test_swap_changes_topology(self, tree6):
+        before = write_newick(tree6, lengths=False)
+        inner = [
+            (u, v) for u, v in tree6.edges() if not u.is_leaf and not v.is_leaf
+        ]
+        u, v = inner[0]
+        nni_swap(tree6, u, v, 0)
+        tree6.validate()
+        assert write_newick(tree6, lengths=False) != before
+
+    def test_undo_restores_everything(self, tree6):
+        snapshot = write_newick(tree6)
+        inner = [
+            (u, v) for u, v in tree6.edges() if not u.is_leaf and not v.is_leaf
+        ]
+        u, v = inner[0]
+        undo = nni_swap(tree6, u, v, 1)
+        undo()
+        tree6.validate()
+        assert write_newick(tree6) == snapshot
+
+    def test_two_variants_differ(self, tree6):
+        inner = [
+            (u, v) for u, v in tree6.edges() if not u.is_leaf and not v.is_leaf
+        ]
+        u, v = inner[0]
+        undo = nni_swap(tree6, u, v, 0)
+        t0 = write_newick(tree6, lengths=False)
+        undo()
+        undo = nni_swap(tree6, u, v, 1)
+        t1 = write_newick(tree6, lengths=False)
+        undo()
+        assert t0 != t1
+
+    def test_leaf_edge_rejected(self, tree6):
+        a = tree6.find_leaf("A")
+        with pytest.raises(TreeError):
+            nni_swap(tree6, a, a.neighbors[0], 0)
+
+    def test_bad_variant(self, tree6):
+        inner = [
+            (u, v) for u, v in tree6.edges() if not u.is_leaf and not v.is_leaf
+        ][0]
+        with pytest.raises(TreeError):
+            nni_swap(tree6, *inner, 2)
+
+
+class TestSPR:
+    def _ctx(self, tree):
+        # pick a junction whose two non-subtree neighbors are not adjacent
+        for junction in tree.inner_nodes():
+            for subtree_root in junction.neighbors:
+                rest = tree.other_neighbors(junction, subtree_root)
+                if len(rest) == 2 and not tree.has_edge(*rest):
+                    return SPRContext(tree, junction, subtree_root)
+        raise AssertionError("no prunable subtree")
+
+    def test_restore_is_identity(self, tree6):
+        snapshot = write_newick(tree6)
+        ctx = self._ctx(tree6)
+        ctx.restore()
+        tree6.validate()
+        assert write_newick(tree6) == snapshot
+
+    def test_regraft_undo_cycle(self, tree6):
+        snapshot = write_newick(tree6)
+        ctx = self._ctx(tree6)
+        healed = ctx.healed_edge
+        targets = edges_within_radius(tree6, healed, radius=3, exclude=ctx.junction)
+        moved = 0
+        for e1, e2 in targets:
+            key = (min(e1.id, e2.id), max(e1.id, e2.id))
+            if key == (min(healed[0].id, healed[1].id), max(healed[0].id, healed[1].id)):
+                continue
+            ctx.regraft(e1, e2)
+            tree6.validate()
+            ctx.undo_regraft()
+            moved += 1
+        assert moved > 0
+        ctx.restore()
+        assert write_newick(tree6) == snapshot
+
+    def test_commit_changes_topology(self, tree6):
+        before = write_newick(tree6, lengths=False)
+        ctx = self._ctx(tree6)
+        healed = ctx.healed_edge
+        hk = (min(healed[0].id, healed[1].id), max(healed[0].id, healed[1].id))
+        for e1, e2 in edges_within_radius(tree6, healed, 3, exclude=ctx.junction):
+            if (min(e1.id, e2.id), max(e1.id, e2.id)) != hk:
+                ctx.regraft(e1, e2)
+                break
+        ctx.commit()
+        tree6.validate()
+        assert write_newick(tree6, lengths=False) != before
+
+    def test_double_regraft_rejected(self, tree6):
+        ctx = self._ctx(tree6)
+        healed = ctx.healed_edge
+        hk = (min(healed[0].id, healed[1].id), max(healed[0].id, healed[1].id))
+        for e1, e2 in edges_within_radius(tree6, healed, 3, exclude=ctx.junction):
+            if (min(e1.id, e2.id), max(e1.id, e2.id)) != hk:
+                ctx.regraft(e1, e2)
+                with pytest.raises(TreeError):
+                    ctx.regraft(e1, e2)
+                break
+        ctx.undo_regraft()
+        ctx.restore()
+
+    def test_closed_context_rejects_ops(self, tree6):
+        ctx = self._ctx(tree6)
+        ctx.restore()
+        with pytest.raises(TreeError):
+            ctx.restore()
+
+
+class TestRadius:
+    def test_radius_zero_is_start_edge_only(self, tree6):
+        u, v = tree6.edges()[0]
+        edges = edges_within_radius(tree6, (u, v), 0)
+        assert len(edges) == 1
+
+    def test_radius_grows_monotonically(self, tree6):
+        u, v = tree6.edges()[0]
+        sizes = [len(edges_within_radius(tree6, (u, v), r)) for r in range(4)]
+        assert sizes == sorted(sizes)
+
+    def test_full_radius_covers_tree(self, tree6):
+        u, v = tree6.edges()[0]
+        edges = edges_within_radius(tree6, (u, v), 100)
+        assert len(edges) == tree6.n_edges
+
+    def test_negative_radius_rejected(self, tree6):
+        u, v = tree6.edges()[0]
+        with pytest.raises(TreeError):
+            edges_within_radius(tree6, (u, v), -1)
+
+
+class TestSPRProperty:
+    @given(st.integers(0, 5000), st.integers(5, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_prune_regraft_always_valid(self, seed, n):
+        taxa = [f"t{i}" for i in range(n)]
+        tree = random_topology(taxa, rng=seed)
+        rng = np.random.default_rng(seed)
+        for junction in tree.inner_nodes():
+            subtree_root = junction.neighbors[0]
+            rest = tree.other_neighbors(junction, subtree_root)
+            if tree.has_edge(*rest):
+                continue
+            ctx = SPRContext(tree, junction, subtree_root)
+            targets = edges_within_radius(
+                tree, ctx.healed_edge, 2, exclude=junction
+            )
+            hk = tuple(sorted(n.id for n in ctx.healed_edge))
+            targets = [
+                (a, b) for a, b in targets
+                if tuple(sorted((a.id, b.id))) != hk
+            ]
+            if targets:
+                e1, e2 = targets[rng.integers(len(targets))]
+                ctx.regraft(e1, e2)
+                tree.validate()
+                ctx.undo_regraft()
+            ctx.restore()
+            tree.validate()
+            break

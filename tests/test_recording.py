@@ -1,0 +1,84 @@
+"""Recording-backend tests: the region stream faithfully mirrors the
+operations the search performs."""
+
+import numpy as np
+import pytest
+
+from repro.engines.events import RegionKind
+from repro.engines.recording import RecordingBackend
+from repro.likelihood.backend import SequentialBackend
+from repro.likelihood.optimize_branch import optimize_branch, smooth_all_branches
+from repro.likelihood.optimize_model import optimize_alphas, optimize_psr
+from repro.likelihood.partitioned import PartitionedLikelihood
+from repro.search.search import SearchConfig, hill_climb
+
+
+@pytest.fixture()
+def recorder(sim_dataset):
+    aln, true_tree, _ = sim_dataset
+    lik = PartitionedLikelihood.build(aln, true_tree.copy(), rate_mode="gamma")
+    return RecordingBackend(lik)
+
+
+class TestRegionStream:
+    def test_evaluate_appends_one_region(self, recorder):
+        u, v = recorder.tree.edges()[0]
+        recorder.evaluate(u, v)
+        assert recorder.log.count(RegionKind.EVALUATE) == 1
+        first = recorder.log.regions[0]
+        assert first.max_ops() > 0  # cold cache: full traversal
+
+    def test_second_evaluate_has_empty_descriptor(self, recorder):
+        u, v = recorder.tree.edges()[0]
+        recorder.evaluate(u, v)
+        recorder.evaluate(u, v)
+        assert recorder.log.regions[1].max_ops() == 0
+
+    def test_branch_optimization_regions(self, recorder):
+        u, v = recorder.tree.edges()[1]
+        optimize_branch(recorder, u, v)
+        assert recorder.log.count(RegionKind.BRANCH_SETUP) == 1
+        assert recorder.log.count(RegionKind.DERIVATIVE) >= 1
+
+    def test_alpha_optimization_regions(self, recorder):
+        u, v = recorder.tree.edges()[0]
+        optimize_alphas(recorder, u, v, iterations=5)
+        n_params = recorder.log.count(RegionKind.PARAM_ALPHA)
+        n_evals = recorder.log.count(RegionKind.EVALUATE)
+        assert n_params >= 5
+        assert n_evals >= n_params  # every proposal gets evaluated
+
+    def test_psr_scan_regions(self, sim_dataset):
+        aln, true_tree, _ = sim_dataset
+        lik = PartitionedLikelihood.build(aln, true_tree.copy(), rate_mode="psr")
+        rec = RecordingBackend(lik)
+        u, v = rec.tree.edges()[0]
+        optimize_psr(rec, u, v, n_candidates=7)
+        assert rec.log.count(RegionKind.PSR_SCAN) == 7
+        assert rec.log.count(RegionKind.PARAM_PSR) == 1
+
+    def test_recording_does_not_change_results(self, sim_dataset):
+        aln, true_tree, _ = sim_dataset
+        cfg = SearchConfig(max_iterations=2, radius_max=2, alpha_iterations=6)
+        lik1 = PartitionedLikelihood.build(aln, true_tree.copy(), rate_mode="gamma")
+        plain = hill_climb(SequentialBackend(lik1), cfg)
+        lik2 = PartitionedLikelihood.build(aln, true_tree.copy(), rate_mode="gamma")
+        recorded = hill_climb(RecordingBackend(lik2), cfg)
+        assert recorded.logl == plain.logl
+
+    def test_stream_is_deterministic(self, sim_dataset):
+        aln, true_tree, _ = sim_dataset
+        cfg = SearchConfig(max_iterations=1, radius_max=2)
+        logs = []
+        for _ in range(2):
+            lik = PartitionedLikelihood.build(aln, true_tree.copy(),
+                                              rate_mode="gamma")
+            rec = RecordingBackend(lik)
+            hill_climb(rec, cfg)
+            logs.append([(r.kind, r.max_ops()) for r in rec.log])
+        assert logs[0] == logs[1]
+
+    def test_validates(self, recorder):
+        smooth_all_branches(recorder, passes=1)
+        recorder.log.validate()
+        assert len(recorder.log) > 0

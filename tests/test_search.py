@@ -1,0 +1,122 @@
+"""Tree-search tests: hill climbing, SPR/NNI rounds, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.likelihood.backend import SequentialBackend
+from repro.likelihood.partitioned import PartitionedLikelihood
+from repro.search.nni import nni_round
+from repro.search.search import SearchConfig, hill_climb
+from repro.search.spr import spr_round
+from repro.tree.distances import rf_distance, same_topology
+from repro.tree.newick import write_newick
+
+
+def make_backend(sim_dataset, start=None, mode="gamma"):
+    aln, true_tree, random_start = sim_dataset
+    tree = (start or random_start).copy()
+    lik = PartitionedLikelihood.build(aln, tree, rate_mode=mode)
+    return SequentialBackend(lik), tree
+
+
+class TestSPRRound:
+    def test_improves_bad_tree(self, sim_dataset):
+        backend, tree = make_backend(sim_dataset)
+        u, v = tree.edges()[0]
+        start, _ = backend.evaluate(u, v)
+        stats = spr_round(backend, radius=2, current_logl=start)
+        assert stats.best_logl >= start
+        assert stats.insertions_tried > 0
+        tree.validate()
+
+    def test_no_moves_on_optimal_tree(self, sim_dataset):
+        aln, true_tree, _ = sim_dataset
+        backend, tree = make_backend(sim_dataset, start=true_tree)
+        from repro.likelihood.optimize_branch import smooth_all_branches
+
+        smooth_all_branches(backend, passes=2)
+        u, v = tree.edges()[0]
+        logl, _ = backend.evaluate(u, v)
+        stats = spr_round(backend, radius=1, current_logl=logl)
+        # the true tree is (near-)optimal for this much data: few/no moves
+        assert stats.moves_accepted <= 1
+
+    def test_invalid_radius(self, sim_dataset):
+        backend, _ = make_backend(sim_dataset)
+        with pytest.raises(Exception):
+            spr_round(backend, radius=0, current_logl=0.0)
+
+
+class TestNNIRound:
+    def test_improves_or_keeps(self, sim_dataset):
+        backend, tree = make_backend(sim_dataset)
+        u, v = tree.edges()[0]
+        start, _ = backend.evaluate(u, v)
+        stats = nni_round(backend, start)
+        assert stats.best_logl >= start
+        # accepted swaps may rewire later list entries, which are skipped
+        assert 0 < stats.edges_tried <= sum(
+            1 for a, b in tree.edges() if not a.is_leaf and not b.is_leaf
+        ) + stats.swaps_accepted
+        tree.validate()
+
+
+class TestHillClimb:
+    def test_recovers_true_topology(self, sim_dataset):
+        aln, true_tree, _ = sim_dataset
+        backend, tree = make_backend(sim_dataset)
+        result = hill_climb(backend, SearchConfig(max_iterations=8, radius_max=4))
+        assert result.logl > -np.inf
+        assert rf_distance(tree, true_tree) <= 2
+        # the trace is monotone non-decreasing
+        assert all(b >= a - 1e-6 for a, b in zip(result.logl_trace,
+                                                 result.logl_trace[1:]))
+
+    def test_beats_true_tree_likelihood_of_start(self, sim_dataset):
+        backend, tree = make_backend(sim_dataset)
+        u, v = tree.edges()[0]
+        start_logl, _ = backend.evaluate(u, v)
+        result = hill_climb(backend, SearchConfig(max_iterations=4, radius_max=3))
+        assert result.logl > start_logl + 10
+
+    def test_deterministic(self, sim_dataset):
+        r1 = hill_climb(make_backend(sim_dataset)[0],
+                        SearchConfig(max_iterations=3, radius_max=2))
+        b2, t2 = make_backend(sim_dataset)
+        r2 = hill_climb(b2, SearchConfig(max_iterations=3, radius_max=2))
+        assert r1.logl == r2.logl
+        assert r1.iterations == r2.iterations
+
+    def test_converged_flag(self, sim_dataset):
+        aln, true_tree, _ = sim_dataset
+        backend, tree = make_backend(sim_dataset, start=true_tree)
+        result = hill_climb(
+            backend,
+            SearchConfig(max_iterations=10, radius_min=2, radius_max=2),
+        )
+        assert result.converged
+        assert result.iterations < 10
+
+    def test_config_validation(self):
+        with pytest.raises(SearchError):
+            SearchConfig(epsilon=0.0)
+        with pytest.raises(SearchError):
+            SearchConfig(radius_min=3, radius_max=2)
+        with pytest.raises(SearchError):
+            SearchConfig(max_iterations=0)
+
+    def test_search_without_model_opt(self, sim_dataset):
+        backend, tree = make_backend(sim_dataset)
+        result = hill_climb(
+            backend, SearchConfig(max_iterations=3, radius_max=3, model_opt=False)
+        )
+        tree.validate()
+        assert result.logl_trace[0] <= result.logl
+
+    @pytest.mark.parametrize("mode", ["psr", "none"])
+    def test_other_rate_modes(self, sim_dataset, mode):
+        backend, tree = make_backend(sim_dataset, mode=mode)
+        result = hill_climb(backend, SearchConfig(max_iterations=2, radius_max=2))
+        tree.validate()
+        assert np.isfinite(result.logl)

@@ -1,0 +1,85 @@
+"""FASTA / PHYLIP I/O tests."""
+
+import pytest
+
+from repro.errors import AlignmentError
+from repro.seq.io_fasta import parse_fasta, read_fasta, write_fasta
+from repro.seq.io_phylip import parse_phylip, read_phylip, write_phylip
+
+
+class TestFasta:
+    def test_parse_basic(self):
+        aln = parse_fasta(">a\nACGT\n>b\nTGCA\n")
+        assert aln.taxa == ["a", "b"]
+        assert aln.sequence("b") == "TGCA"
+
+    def test_wrapped_sequences(self):
+        aln = parse_fasta(">a\nAC\nGT\n>b\nTG\nCA\n")
+        assert aln.sequence("a") == "ACGT"
+
+    def test_header_truncated_at_whitespace(self):
+        aln = parse_fasta(">seq1 some description\nACGT\n")
+        assert aln.taxa == ["seq1"]
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(AlignmentError):
+            parse_fasta(">\nACGT\n")
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(AlignmentError):
+            parse_fasta("ACGT\n>a\nACGT\n")
+
+    def test_duplicate_headers_rejected(self):
+        with pytest.raises(AlignmentError):
+            parse_fasta(">a\nAC\n>a\nGT\n")
+
+    def test_no_records_rejected(self):
+        with pytest.raises(AlignmentError):
+            parse_fasta("\n\n")
+
+    def test_round_trip(self, tiny_alignment, tmp_path):
+        path = tmp_path / "x.fasta"
+        write_fasta(tiny_alignment, path, width=5)
+        again = read_fasta(path)
+        assert again == tiny_alignment
+
+    def test_bad_width(self, tiny_alignment, tmp_path):
+        with pytest.raises(AlignmentError):
+            write_fasta(tiny_alignment, tmp_path / "x", width=0)
+
+
+class TestPhylip:
+    def test_parse_relaxed(self):
+        aln = parse_phylip("2 4\nalpha ACGT\nbeta  TGCA\n")
+        assert aln.taxa == ["alpha", "beta"]
+        assert aln.sequence("beta") == "TGCA"
+
+    def test_header_mismatch_rejected(self):
+        with pytest.raises(AlignmentError, match="expected 5 sites"):
+            parse_phylip("1 5\na ACGT\n")
+
+    def test_missing_rows_rejected(self):
+        with pytest.raises(AlignmentError, match="2 taxa"):
+            parse_phylip("2 4\na ACGT\n")
+
+    def test_bad_header(self):
+        with pytest.raises(AlignmentError):
+            parse_phylip("two four\na ACGT\n")
+
+    def test_negative_dimensions(self):
+        with pytest.raises(AlignmentError):
+            parse_phylip("0 4\n")
+
+    def test_duplicate_taxa(self):
+        with pytest.raises(AlignmentError):
+            parse_phylip("2 4\na ACGT\na ACGT\n")
+
+    def test_wrapped_rows(self):
+        aln = parse_phylip("1 8\na ACGT\nTGCA\n")
+        assert aln.sequence("a") == "ACGTTGCA"
+
+    def test_round_trip(self, tiny_alignment, tmp_path):
+        path = tmp_path / "x.phy"
+        write_phylip(tiny_alignment, path)
+        again = read_phylip(path)
+        assert again == tiny_alignment

@@ -1,0 +1,146 @@
+"""Substitution-model tests: rate matrices, eigen systems, P(t)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.linalg import expm
+
+from repro.errors import ModelError
+from repro.model.substitution import F81, GTR, HKY85, JC69, K80, SubstitutionModel
+
+
+def random_model(draw_rates, draw_freqs):
+    return SubstitutionModel(np.asarray(draw_rates), np.asarray(draw_freqs))
+
+
+class TestRateMatrix:
+    def test_rows_sum_to_zero(self, rng):
+        m = GTR([1.2, 3.1, 0.8, 1.1, 3.5, 1.0], [0.3, 0.2, 0.25, 0.25])
+        q = m.rate_matrix()
+        assert np.allclose(q.sum(axis=1), 0.0, atol=1e-14)
+
+    def test_mean_rate_is_one(self):
+        m = GTR([2.0, 5.0, 1.0, 1.5, 4.5, 1.0], [0.4, 0.1, 0.2, 0.3])
+        q = m.rate_matrix()
+        assert -np.dot(m.frequencies, np.diag(q)) == pytest.approx(1.0)
+
+    def test_stationarity(self):
+        m = GTR([1.2, 3.1, 0.8, 1.1, 3.5, 1.0], [0.3, 0.2, 0.25, 0.25])
+        q = m.rate_matrix()
+        assert np.allclose(m.frequencies @ q, 0.0, atol=1e-14)
+
+
+class TestEigenSystem:
+    @pytest.mark.parametrize("t", [0.0, 0.01, 0.3, 2.0, 100.0])
+    def test_pmatrix_matches_expm(self, t):
+        m = GTR([1.2, 3.1, 0.8, 1.1, 3.5, 1.0], [0.3, 0.2, 0.25, 0.25])
+        P = m.eigen().pmatrices(t)
+        assert np.allclose(P, expm(m.rate_matrix() * t), atol=1e-12)
+
+    def test_rows_are_distributions(self):
+        m = GTR([1.2, 3.1, 0.8, 1.1, 3.5, 1.0], [0.1, 0.4, 0.15, 0.35])
+        for t in [0.0, 0.5, 5.0, 500.0]:
+            P = m.eigen().pmatrices(t)
+            assert np.allclose(P.sum(axis=1), 1.0, atol=1e-10)
+            assert np.all(P >= -1e-12)
+
+    def test_long_branch_converges_to_frequencies(self):
+        m = GTR([1.2, 3.1, 0.8, 1.1, 3.5, 1.0], [0.3, 0.2, 0.25, 0.25])
+        P = m.eigen().pmatrices(1000.0)
+        assert np.allclose(P, np.tile(m.frequencies, (4, 1)), atol=1e-9)
+
+    def test_detailed_balance(self):
+        m = GTR([1.2, 3.1, 0.8, 1.1, 3.5, 1.0], [0.3, 0.2, 0.25, 0.25])
+        P = m.eigen().pmatrices(0.37)
+        flux = m.frequencies[:, None] * P
+        assert np.allclose(flux, flux.T, atol=1e-12)
+
+    def test_batched_shape(self):
+        m = JC69()
+        P = m.eigen().pmatrices(np.linspace(0.1, 1.0, 7).reshape(7, 1))
+        assert P.shape == (7, 1, 4, 4)
+
+    def test_ztransform_reconstructs_f(self):
+        # f(t) = sum_k z_i z_j e^{λ t} must equal π·(L_i ∘ P L_j)
+        m = GTR([1.2, 3.1, 0.8, 1.1, 3.5, 1.0], [0.3, 0.2, 0.25, 0.25])
+        e = m.eigen()
+        rng = np.random.default_rng(5)
+        li = rng.random(4)
+        lj = rng.random(4)
+        t = 0.21
+        direct = float(m.frequencies @ (li * (e.pmatrices(t) @ lj)))
+        zi = e.ztransform(li)
+        zj = e.ztransform(lj)
+        viaz = float(np.sum(zi * zj * np.exp(e.eigenvalues * t)))
+        assert direct == pytest.approx(viaz, rel=1e-12)
+
+
+class TestNamedModels:
+    def test_jc69_uniform(self):
+        m = JC69()
+        P = m.eigen().pmatrices(0.1)
+        off = P[~np.eye(4, dtype=bool)]
+        assert np.allclose(off, off[0])
+
+    def test_k80_transitions_faster(self):
+        m = K80(kappa=4.0)
+        P = m.eigen().pmatrices(0.1)
+        # A->G (transition) more likely than A->C (transversion)
+        assert P[0, 2] > P[0, 1]
+
+    def test_hky_reduces_to_k80(self):
+        k = K80(2.5)
+        h = HKY85(2.5, np.full(4, 0.25))
+        assert np.allclose(
+            k.eigen().pmatrices(0.3), h.eigen().pmatrices(0.3), atol=1e-12
+        )
+
+    def test_f81_equal_rates(self):
+        m = F81([0.4, 0.3, 0.2, 0.1])
+        assert np.allclose(m.rates, 1.0)
+
+    def test_invalid_kappa(self):
+        with pytest.raises(ModelError):
+            K80(0.0)
+
+
+class TestValidation:
+    def test_wrong_rate_count(self):
+        with pytest.raises(ModelError):
+            SubstitutionModel(np.ones(5), np.full(4, 0.25))
+
+    def test_nonpositive_frequency(self):
+        with pytest.raises(ModelError):
+            SubstitutionModel(np.ones(6), np.array([0.5, 0.5, 0.0, 0.0]))
+
+    def test_frequencies_must_normalize(self):
+        with pytest.raises(ModelError):
+            SubstitutionModel(np.ones(6), np.array([0.5, 0.5, 0.5, 0.5]))
+
+    def test_with_rates_returns_new_model(self):
+        m = JC69()
+        m2 = m.with_rates(np.array([1, 2, 3, 4, 5, 6.0]))
+        assert np.allclose(m.rates, 1.0)
+        assert m2.rates[5] == 6.0
+
+    def test_normalized_rates(self):
+        m = GTR([2.0, 4.0, 2.0, 2.0, 4.0, 2.0], np.full(4, 0.25))
+        assert m.normalized_rates()[-1] == 1.0
+
+
+class TestEigenProperties:
+    @given(
+        st.lists(st.floats(0.05, 20.0), min_size=6, max_size=6),
+        st.lists(st.floats(0.05, 1.0), min_size=4, max_size=4),
+        st.floats(0.001, 10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_chapman_kolmogorov(self, rates, raw_freqs, t):
+        freqs = np.array(raw_freqs)
+        freqs = freqs / freqs.sum()
+        m = SubstitutionModel(np.array(rates), freqs)
+        e = m.eigen()
+        P1 = e.pmatrices(t)
+        P2 = e.pmatrices(2 * t)
+        assert np.allclose(P1 @ P1, P2, atol=1e-9)

@@ -1,0 +1,89 @@
+"""Traversal-descriptor tests: ordering, minimality, byte model."""
+
+import pytest
+
+from repro.errors import TreeError
+from repro.tree.newick import parse_newick
+from repro.tree.traversal import (
+    TraversalDescriptor,
+    directed_clv_keys,
+    full_traversal,
+    traversal_for_edge,
+)
+
+
+@pytest.fixture()
+def tree():
+    return parse_newick("((A:0.1,B:0.2):0.1,(C:0.3,D:0.4):0.2,E:0.5);")
+
+
+class TestFullTraversal:
+    def test_op_count(self, tree):
+        # evaluating at a leaf-adjacent edge: all inner CLVs toward it
+        u, v = tree.edges()[0]
+        desc = full_traversal(tree, u, v)
+        # 3 inner nodes -> between 2 and 4 directed CLVs needed
+        assert 2 <= len(desc) <= 4
+
+    def test_children_precede_parents(self, tree):
+        u, v = tree.edges()[0]
+        desc = full_traversal(tree, u, v)
+        done = set()
+        for op in desc:
+            for child in (op.child_a, op.child_b):
+                node = tree.node(child)
+                if not node.is_leaf:
+                    assert (child, op.node) in done, "dependency violated"
+            done.add((op.node, op.toward))
+
+    def test_missing_edge_rejected(self, tree):
+        a = tree.find_leaf("A")
+        c = tree.find_leaf("C")
+        with pytest.raises(TreeError):
+            traversal_for_edge(tree, a, c)
+
+
+class TestIncrementalTraversal:
+    def test_all_valid_yields_empty(self, tree):
+        u, v = tree.edges()[0]
+        desc = traversal_for_edge(tree, u, v, is_valid=lambda key: True)
+        assert len(desc) == 0
+
+    def test_partial_validity(self, tree):
+        u, v = tree.edges()[0]
+        full = full_traversal(tree, u, v)
+        first_key = (full.ops[0].node, full.ops[0].toward)
+        desc = traversal_for_edge(tree, u, v, is_valid=lambda key: key == first_key)
+        assert len(desc) == len(full) - 1
+
+    def test_nonbinary_rejected(self):
+        t = parse_newick("(A:1,B:1,C:1);")
+        center = t.inner_nodes()[0]
+        extra = t.add_node("Z")
+        t.connect(center, extra, 0.1)
+        a = t.find_leaf("A")
+        with pytest.raises(TreeError, match="not binary"):
+            traversal_for_edge(t, center, a)
+
+
+class TestDescriptorBytes:
+    def test_empty_descriptor(self):
+        assert TraversalDescriptor([]).nbytes() == 4
+
+    def test_scaling_in_ops_and_branch_sets(self, tree):
+        u, v = tree.edges()[0]
+        desc = full_traversal(tree, u, v)
+        b1 = desc.nbytes(n_branch_sets=1)
+        b10 = desc.nbytes(n_branch_sets=10)
+        assert b10 > b1
+        assert (b10 - 4) / len(desc) == 16 + 160
+
+
+class TestDirectedKeys:
+    def test_count(self, tree):
+        keys = directed_clv_keys(tree)
+        # one key per directed edge whose source is inner
+        inner_sources = sum(
+            1 for u, v in tree.iter_directed_edges() if not u.is_leaf
+        )
+        assert len(keys) == inner_sources
