@@ -71,6 +71,11 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     from repro.tree.newick import parse_newick, write_newick
     from repro.tree.random_trees import random_topology
 
+    if args.checkpoint_every and not args.checkpoint:
+        raise SystemExit("--checkpoint-every needs --checkpoint PATH")
+    if args.engine != "sequential" and args.resume:
+        raise SystemExit("--resume is only supported with --engine sequential")
+
     alignment = _load_alignment(args.alignment)
     scheme = read_partition_file(args.partitions) if args.partitions else None
     if args.starting_tree:
@@ -84,6 +89,57 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         rate_mode=args.model,
         per_partition_branches=args.per_partition_branches,
     )
+    config = SearchConfig(
+        max_iterations=args.iterations,
+        radius_max=args.radius,
+        optimize_gtr=not args.no_gtr,
+        epsilon=args.epsilon,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint if args.checkpoint_every else None,
+    )
+
+    if args.engine != "sequential":
+        from repro.engines.launch import run_decentralized, run_forkjoin
+        from repro.par.faultcomm import FaultPlan
+
+        plan = (FaultPlan.parse(args.inject_failure)
+                if args.inject_failure else None)
+        start_newick = write_newick(tree)
+        if args.engine == "decentralized":
+            replicas = run_decentralized(
+                lik.parts, lik.taxa, start_newick, n_ranks=args.ranks,
+                config=config, dist_kind=args.dist, fault_plan=plan,
+                detect_timeout=args.detect_timeout,
+            )
+            survivors = [r for r in replicas if r is not None]
+            if not survivors:
+                raise SystemExit("no surviving replicas")
+            res = survivors[0]
+            if res.failed_ranks:
+                print(
+                    f"rank(s) {list(res.failed_ranks)} failed; recovered "
+                    f"in-run ({res.recoveries} recovery round(s), "
+                    f"{len(survivors)} survivor(s))",
+                    file=sys.stderr,
+                )
+        else:
+            res = run_forkjoin(
+                lik.parts, lik.taxa, start_newick, n_ranks=args.ranks,
+                config=config, dist_kind=args.dist, fault_plan=plan,
+                detect_timeout=args.detect_timeout,
+            )
+            if res.restarts:
+                print(f"worker failure: restarted {res.restarts} time(s) "
+                      f"from checkpoint", file=sys.stderr)
+        newick = res.newick
+        if args.output:
+            Path(args.output).write_text(newick + "\n")
+        else:
+            print(newick)
+        print(f"logL = {res.logl:.4f} after {res.iterations} iterations "
+              f"({args.engine} on {args.ranks} ranks)", file=sys.stderr)
+        return 0
+
     backend = SequentialBackend(lik)
     if args.resume:
         meta, arrays = load_checkpoint(args.resume)
@@ -92,12 +148,6 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         tree = lik.tree
         print(f"resumed from {args.resume} (iteration {meta['iteration']})",
               file=sys.stderr)
-    config = SearchConfig(
-        max_iterations=args.iterations,
-        radius_max=args.radius,
-        optimize_gtr=not args.no_gtr,
-        epsilon=args.epsilon,
-    )
     result = hill_climb(backend, config)
     newick = write_newick(tree)
     if args.output:
@@ -213,6 +263,28 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("-o", "--output", help="write best tree here")
     infer.add_argument("--checkpoint", help="write final checkpoint here")
     infer.add_argument("--resume", help="resume from a checkpoint file")
+    infer.add_argument("--engine",
+                       choices=["sequential", "decentralized", "forkjoin"],
+                       default="sequential",
+                       help="run the search on one process or on a real "
+                            "multi-process engine")
+    infer.add_argument("--ranks", type=int, default=2,
+                       help="process count for distributed engines")
+    infer.add_argument("--dist", choices=["cyclic", "mps"], default="cyclic",
+                       help="data distribution for distributed engines")
+    infer.add_argument("--inject-failure", metavar="RANK@CALL[:MODE]",
+                       help="kill (or :hang) ranks at deterministic comm-call "
+                            "numbers, e.g. '2@40' or '1@25:hang'; the "
+                            "decentralized engine recovers in-run, fork-join "
+                            "restarts from the last checkpoint")
+    infer.add_argument("--checkpoint-every", type=int, default=0,
+                       metavar="N",
+                       help="write a periodic checkpoint every N search "
+                            "iterations (needs --checkpoint)")
+    infer.add_argument("--detect-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="bounded-receive timeout for failure detection "
+                            "(catches hung ranks; default 60)")
     infer.set_defaults(func=_cmd_infer)
 
     sim = sub.add_parser("simulate", help="generate a benchmark alignment")

@@ -28,7 +28,11 @@ from repro.likelihood.partitioned import PartitionedLikelihood
 from repro.par.comm import Comm, ReduceOp
 from repro.tree.topology import Node
 
-__all__ = ["DecentralizedCommModel", "DecentralizedBackend"]
+__all__ = [
+    "DecentralizedCommModel",
+    "DecentralizedBackend",
+    "recover_decentralized",
+]
 
 _DOUBLE = 8
 
@@ -85,6 +89,11 @@ class DecentralizedBackend(SequentialBackend):
         super().__init__(lik)
         self.comm = comm
 
+    @property
+    def writes_checkpoints(self) -> bool:
+        """All replicas hold identical state; one writer suffices."""
+        return self.comm.rank == 0
+
     def evaluate(self, u: Node, v: Node) -> tuple[float, np.ndarray]:
         self.lik.ensure_clvs(u, v)
         local = np.array(
@@ -136,3 +145,74 @@ class DecentralizedBackend(SequentialBackend):
     # set_alphas / set_gtr_rates / set_branch_length are purely local:
     # every replica executes the same deterministic update — the whole
     # point of the de-centralized scheme (inherited from SequentialBackend).
+
+
+def recover_decentralized(
+    backend: DecentralizedBackend,
+    failed,
+    full_parts,
+    dist_kind: str = "cyclic",
+):
+    """Rebuild a survivor's backend after rank failures (paper Section V).
+
+    The live counterpart of :func:`repro.engines.fault.redistribute_after_failure`:
+    every replica holds the complete *search* state (tree, model,
+    position), so losing ranks only loses data shares.  Survivors
+
+    1. **agree** on the failed set (``MPI_Comm_agree`` analogue),
+    2. **shrink** the communicator to the survivors
+       (``MPI_Comm_shrink`` analogue — renumbered, drained, still
+       rank-ordered deterministic),
+    3. **redistribute**: re-split the replicated full data against the
+       shrunk rank count (the validated analytical redistribution is
+       returned as a :class:`~repro.engines.fault.FailureReport` for
+       accounting), and
+    4. rebuild the local :class:`PartitionedLikelihood` around the
+       *current* replicated tree, carrying over the replicated model
+       state, ready to **resume** the hill-climb.
+
+    Per-site PSR rates are data-share state, not replicated state: after
+    redistribution they restart from their initial values identically on
+    every survivor (and re-converge at the next model-optimization pass),
+    so the replicas stay bitwise consistent.
+
+    Returns ``(new_backend, report)`` where ``report.failed_ranks`` is in
+    the numbering of the communicator that detected the failure.
+    """
+    from repro.dist.distributions import (
+        cyclic_distribution,
+        mps_distribution,
+        split_local_data,
+    )
+    from repro.engines.fault import redistribute_after_failure
+    from repro.model.rates import DiscreteGamma
+
+    comm = backend.comm
+    agreed = comm.agree(failed)
+
+    # analytical redistribution over the same rank space — validates that
+    # no pattern is lost and prices the recovery traffic
+    costs = np.array([p.cost_patterns for p in full_parts])
+    if dist_kind == "mps":
+        dist = mps_distribution(costs, comm.size, refine=False)
+    else:
+        dist = cyclic_distribution(costs, comm.size)
+    report = redistribute_after_failure(dist, sorted(agreed))
+
+    new_comm = comm.shrink(agreed)
+    new_parts = split_local_data(
+        full_parts, new_comm.rank, new_comm.size, dist_kind
+    )
+    old_parts = backend.lik.parts
+    for new_p, old_p in zip(new_parts, old_parts):
+        # replicated model state survives the failure by construction
+        new_p.model = old_p.model
+        if isinstance(new_p.rate_het, DiscreteGamma) and isinstance(
+            old_p.rate_het, DiscreteGamma
+        ):
+            new_p.rate_het.alpha = old_p.rate_het.alpha
+        new_p.bump_model()
+    new_lik = PartitionedLikelihood(
+        backend.lik.tree, new_parts, backend.lik.taxa
+    )
+    return DecentralizedBackend(new_comm, new_lik), report

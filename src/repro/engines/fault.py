@@ -104,6 +104,7 @@ def redistribute_after_failure(
         new_dist = DataDistribution(kind="cyclic", owned=owned[survivors])
 
     bytes_moved = float(orphan.sum()) * bytes_per_pattern
+    _check_conservation(dist, new_dist)
     return FailureReport(
         failed_ranks=tuple(failed),
         survivors=len(survivors),
@@ -112,6 +113,28 @@ def redistribute_after_failure(
         recoverable=True,
         reason="decentralized replicas hold full search state; only data moves",
     )
+
+
+def _check_conservation(old: DataDistribution, new: DataDistribution) -> None:
+    """Recovery must conserve every partition's pattern mass.
+
+    The per-partition ``owned`` column sums of the recovered distribution
+    must equal the original's — anything else means patterns were
+    silently lost or duplicated during re-homing (e.g. float drift when
+    spreading cyclic shares).  Raising here turns silent data corruption
+    into a hard :class:`DistributionError`.
+    """
+    before = old.owned.sum(axis=0)
+    after = new.owned.sum(axis=0)
+    scale = np.maximum(np.abs(before), 1.0)
+    bad = np.abs(after - before) > 1e-9 * scale
+    if np.any(bad):
+        worst = int(np.argmax(np.abs(after - before) / scale))
+        raise DistributionError(
+            f"redistribution lost patterns: partition {worst} had "
+            f"{before[worst]:.6f} patterns before the failure but "
+            f"{after[worst]:.6f} after re-homing"
+        )
 
 
 def recovery_time(

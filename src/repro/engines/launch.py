@@ -9,27 +9,45 @@ tests assert that
   likelihood (the paper's Section III-B requirement), and
 * both engines reproduce the sequential reference exactly (up to the
   ε-stub noise of empty cyclic shares, ~1e-10).
+
+Both launchers can inject rank failures (``fault_plan``) to exercise the
+live fault-tolerance paths:
+
+* **de-centralized** — survivors detect the failure, agree on the failed
+  set, shrink the communicator, re-split the replicated data and resume
+  the search in-run (paper Section V, executed rather than modelled);
+* **fork-join** — the run aborts (a worker loss starves the master; a
+  master loss is catastrophic) and, for worker losses, restarts from the
+  last periodic checkpoint (``checkpoint_every``/``checkpoint_path`` in
+  :class:`~repro.search.search.SearchConfig`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 import numpy as np
 
 from repro.dist.distributions import split_local_data
-from repro.engines.decentral import DecentralizedBackend
+from repro.engines.decentral import DecentralizedBackend, recover_decentralized
 from repro.engines.forkjoin import ForkJoinMasterBackend, forkjoin_worker
-from repro.errors import CommError
+from repro.errors import CommError, RankFailureError
 from repro.likelihood.partitioned import PartitionData, PartitionedLikelihood
 from repro.par.comm import Comm
+from repro.par.faultcomm import FaultInjectingComm, FaultPlan
 from repro.par.mpcomm import run_mpi
 from repro.search.search import SearchConfig, hill_climb
 from repro.tree.newick import parse_newick, write_newick
 from repro.tree.topology import Tree
 
-__all__ = ["DistributedResult", "run_decentralized", "run_forkjoin", "run_sequential_reference"]
+__all__ = [
+    "DistributedResult",
+    "run_decentralized",
+    "run_forkjoin",
+    "run_sequential_reference",
+]
 
 
 @dataclass
@@ -40,6 +58,9 @@ class DistributedResult:
     newick: str
     iterations: int
     bytes_by_tag: dict[str, int]
+    failed_ranks: tuple[int, ...] = ()
+    recoveries: int = 0
+    restarts: int = 0
 
 
 def _rebuild_tree(newick: str, n_branch_sets: int) -> Tree:
@@ -49,20 +70,48 @@ def _rebuild_tree(newick: str, n_branch_sets: int) -> Tree:
     return tree
 
 
+def _maybe_inject(comm: Comm, payload: dict[str, Any]) -> Comm:
+    plan: FaultPlan | None = payload.get("fault_plan")
+    if plan is not None and comm.size > 1:
+        return FaultInjectingComm(comm, plan)
+    return comm
+
+
 def _decentral_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult:
+    comm = _maybe_inject(comm, payload)
     tree = _rebuild_tree(payload["newick"], payload["n_branch_sets"])
     local_parts = split_local_data(
         payload["parts"], comm.rank, comm.size, payload["dist_kind"]
     )
     lik = PartitionedLikelihood(tree, local_parts, payload["taxa"])
     backend = DecentralizedBackend(comm, lik)
-    result = hill_climb(backend, payload["config"])
+
+    all_failed: list[int] = []
+    recoveries = 0
+    while True:
+        try:
+            result = hill_climb(backend, payload["config"])
+            break
+        except RankFailureError as exc:
+            # Section V, live: agree → shrink → redistribute → resume.
+            # The tree and model in `backend` are this replica's full
+            # copy of the search state; only the data share is rebuilt.
+            backend, report = recover_decentralized(
+                backend, exc.failed_ranks, payload["parts"],
+                payload["dist_kind"],
+            )
+            all_failed.extend(comm.world_ranks(report.failed_ranks))
+            comm = backend.comm
+            recoveries += 1
+
     bytes_by_tag = dict(getattr(comm, "bytes_by_tag", {}))
     return DistributedResult(
         logl=result.logl,
-        newick=write_newick(tree, lengths=False),
+        newick=write_newick(backend.tree, lengths=False),
         iterations=result.iterations,
         bytes_by_tag=bytes_by_tag,
+        failed_ranks=tuple(sorted(set(all_failed))),
+        recoveries=recoveries,
     )
 
 
@@ -74,8 +123,16 @@ def run_decentralized(
     config: SearchConfig | None = None,
     dist_kind: str = "cyclic",
     n_branch_sets: int = 1,
+    fault_plan: FaultPlan | None = None,
+    detect_timeout: float | None = None,
 ) -> list[DistributedResult]:
-    """Run the ExaML scheme on ``n_ranks`` real processes."""
+    """Run the ExaML scheme on ``n_ranks`` real processes.
+
+    With a ``fault_plan``, injected rank deaths are survived in-run: the
+    returned list holds ``None`` at failed ranks and the survivors'
+    results record the failure and recovery (``failed_ranks`` in the
+    original rank numbering, ``recoveries``).
+    """
     payload = {
         "parts": parts,
         "taxa": taxa,
@@ -83,11 +140,19 @@ def run_decentralized(
         "config": config or SearchConfig(),
         "dist_kind": dist_kind,
         "n_branch_sets": n_branch_sets,
+        "fault_plan": fault_plan,
     }
-    return run_mpi(n_ranks, _decentral_rank, [payload] * n_ranks)
+    return run_mpi(
+        n_ranks,
+        _decentral_rank,
+        [payload] * n_ranks,
+        detect_timeout=detect_timeout,
+        allow_failures=fault_plan is not None,
+    )
 
 
 def _forkjoin_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult | None:
+    comm = _maybe_inject(comm, payload)
     local_parts = split_local_data(
         payload["parts"], comm.rank, comm.size, payload["dist_kind"]
     )
@@ -95,12 +160,35 @@ def _forkjoin_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult | N
         tree = _rebuild_tree(payload["newick"], payload["n_branch_sets"])
         lik = PartitionedLikelihood(tree, local_parts, payload["taxa"])
         backend = ForkJoinMasterBackend(comm, lik)
+        resume_from = payload.get("resume_from")
+        if resume_from:
+            from repro.model.rates import DiscreteGamma
+            from repro.search.checkpoint import load_checkpoint, restore_into
+
+            meta, arrays = load_checkpoint(resume_from)
+            restore_into(lik, meta, arrays)
+            backend.tree = lik.tree
+            tree = lik.tree
+            # Workers restarted with pristine model parameters; push the
+            # restored ones through the regular broadcast commands so the
+            # mesh is consistent before the search resumes.
+            alphas = {
+                p: lik.get_alpha(p)
+                for p in range(lik.n_partitions)
+                if isinstance(lik.parts[p].rate_het, DiscreteGamma)
+            }
+            if alphas:
+                backend.set_alphas(alphas)
+            backend.set_gtr_rates(
+                {p: lik.parts[p].model.rates for p in range(lik.n_partitions)}
+            )
         result = hill_climb(backend, payload["config"])
         return DistributedResult(
             logl=result.logl,
             newick=write_newick(tree, lengths=False),
             iterations=result.iterations,
             bytes_by_tag=dict(getattr(comm, "bytes_by_tag", {})),
+            restarts=payload.get("restarts", 0),
         )
     forkjoin_worker(
         comm, local_parts, payload["node_taxon"], payload["n_branch_sets"]
@@ -116,27 +204,72 @@ def run_forkjoin(
     config: SearchConfig | None = None,
     dist_kind: str = "cyclic",
     n_branch_sets: int = 1,
+    fault_plan: FaultPlan | None = None,
+    detect_timeout: float | None = None,
+    max_restarts: int = 1,
 ) -> DistributedResult:
     """Run the RAxML-Light scheme on ``n_ranks`` real processes.
 
     Returns the master's result (workers return nothing — they are
     tree-agnostic by design).
+
+    Fault handling is the paper's contrast case: a failure aborts the
+    whole run.  A *master* failure is unrecoverable (the only copy of
+    the search state dies with rank 0 — "catastrophic").  A *worker*
+    failure restarts the run — from the last periodic checkpoint when
+    ``config.checkpoint_every``/``config.checkpoint_path`` are set, from
+    scratch otherwise — at most ``max_restarts`` times.  Injection only
+    applies to the first attempt (the restart models a replacement
+    node).
     """
     tree = _rebuild_tree(start_newick, n_branch_sets)
     taxon_row = {label: i for i, label in enumerate(taxa)}
     node_taxon = {
         leaf.id: taxon_row[leaf.label] for leaf in tree.leaves()  # type: ignore[index]
     }
+    config = config or SearchConfig()
     payload = {
         "parts": parts,
         "taxa": taxa,
         "newick": start_newick,
-        "config": config or SearchConfig(),
+        "config": config,
         "dist_kind": dist_kind,
         "n_branch_sets": n_branch_sets,
         "node_taxon": node_taxon,
+        "fault_plan": fault_plan,
     }
-    results = run_mpi(n_ranks, _forkjoin_rank, [payload] * n_ranks)
+    restarts = 0
+    while True:
+        try:
+            results = run_mpi(
+                n_ranks,
+                _forkjoin_rank,
+                [payload] * n_ranks,
+                detect_timeout=detect_timeout,
+            )
+            break
+        except RankFailureError as exc:
+            from repro.engines.fault import forkjoin_failure_outcome
+
+            outcome = forkjoin_failure_outcome(sorted(exc.failed_ranks))
+            if 0 in exc.failed_ranks:
+                raise CommError(
+                    f"fork-join run unrecoverable: {outcome.reason}"
+                ) from exc
+            if restarts >= max_restarts:
+                raise CommError(
+                    f"fork-join run failed after {restarts} restart(s): "
+                    f"{outcome.reason}"
+                ) from exc
+            restarts += 1
+            payload = dict(payload)
+            payload["fault_plan"] = None  # the failed node was replaced
+            payload["restarts"] = restarts
+            ckpt = Path(config.checkpoint_path) if config.checkpoint_path else None
+            if ckpt is not None and ckpt.suffix != ".npz":
+                ckpt = ckpt.with_name(ckpt.name + ".npz")  # np.savez suffixing
+            if ckpt is not None and ckpt.exists():
+                payload["resume_from"] = str(ckpt)
     master = results[0]
     if master is None:
         raise CommError("fork-join master returned no result")

@@ -36,6 +36,22 @@ class CommError(ReproError):
     """Failure inside the virtual-MPI communication layer."""
 
 
+class RankFailureError(CommError):
+    """One or more peer ranks died or went silent mid-run.
+
+    ``failed_ranks`` holds the failed ranks in the numbering of the
+    communicator that detected the failure.  Survivors catch this, agree
+    on the failed set (:meth:`MPComm.agree`), shrink the communicator
+    (:meth:`MPComm.shrink`) and — in the de-centralized scheme — resume.
+    """
+
+    def __init__(self, failed_ranks, message: str = "") -> None:
+        self.failed_ranks = frozenset(int(r) for r in failed_ranks)
+        super().__init__(
+            message or f"rank(s) {sorted(self.failed_ranks)} failed"
+        )
+
+
 class DistributionError(ReproError):
     """Infeasible or inconsistent data-distribution request."""
 

@@ -137,3 +137,25 @@ class Comm:
 
     def recv(self, source: int, tag: str = "generic") -> Any:
         raise NotImplementedError
+
+    # -- fault tolerance (ULFM-style; optional) ----------------------------- #
+    # Communicators that cannot lose ranks (sequential, mocks) inherit the
+    # identity behaviour; the multiprocess backend overrides all four.
+
+    def world_rank(self, rank: int) -> int:
+        """Map ``rank`` in this communicator to its original world rank."""
+        return rank
+
+    def world_ranks(self, ranks) -> tuple[int, ...]:
+        """Map a set of ranks to original world ranks (sorted)."""
+        return tuple(sorted(self.world_rank(int(r)) for r in ranks))
+
+    def agree(self, failed) -> frozenset[int]:
+        """Agree on the failed set across survivors (``MPI_Comm_agree``)."""
+        return frozenset(int(r) for r in failed)
+
+    def shrink(self, failed) -> "Comm":
+        """Return a renumbered survivor communicator (``MPI_Comm_shrink``)."""
+        raise CommError(
+            f"{type(self).__name__} cannot shrink (no rank can fail)"
+        )

@@ -1,0 +1,263 @@
+"""Deterministic rank-failure injection for the multiprocess backend.
+
+:class:`FaultInjectingComm` wraps any :class:`~repro.par.comm.Comm` and
+kills (or hangs) the process at a scheduled point, so the fault-tolerance
+machinery can be exercised reproducibly:
+
+* **die** — the process exits immediately (``os._exit``), closing its
+  pipe ends; peers observe EOF, the fail-stop model of ULFM.
+* **hang** — the process goes silent for ``hang_seconds`` and then
+  exits; peers can only detect this through bounded receive timeouts.
+
+Schedules are expressed as a :class:`FaultPlan`: either explicit
+``rank @ call-number`` triggers (the call number counts that rank's
+communicator operations — deterministic because the engines are
+deterministic), or a seeded per-call probability, which is equally
+reproducible under a fixed seed.
+
+The wrapper counts *top-level* calls on the interface it wraps (an
+``allreduce`` is one call even though the underlying implementation
+composes a reduce and a bcast).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import CommError
+from repro.par.comm import Comm, ReduceOp
+
+__all__ = ["FaultSpec", "FaultPlan", "FaultInjectingComm", "FAULT_EXIT_CODE"]
+
+#: Exit code of a fault-injected death (distinguishes injected kills from
+#: genuine crashes in process tables / CI logs).
+FAULT_EXIT_CODE = 77
+
+MODE_DIE = "die"
+MODE_HANG = "hang"
+_MODES = (MODE_DIE, MODE_HANG)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Kill ``rank`` when it issues its ``at_call``-th communicator call."""
+
+    rank: int
+    at_call: int
+    mode: str = MODE_DIE
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise CommError("fault rank must be non-negative")
+        if self.at_call < 1:
+            raise CommError("fault call number counts from 1")
+        if self.mode not in _MODES:
+            raise CommError(f"unknown fault mode {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible schedule of rank failures.
+
+    Either a tuple of explicit :class:`FaultSpec` triggers, or a seeded
+    per-call ``probability`` (each rank draws from its own
+    ``default_rng(seed + rank)`` stream, so firing points are a pure
+    function of ``(seed, rank, call history)``).
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    probability: float = 0.0
+    seed: int | None = None
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise CommError("fault probability must be in [0, 1]")
+        if self.probability > 0.0 and self.seed is None:
+            raise CommError("probabilistic fault plans need a seed")
+        if self.hang_seconds <= 0:
+            raise CommError("hang_seconds must be positive")
+
+    @classmethod
+    def kill(cls, rank: int, at_call: int, mode: str = MODE_DIE,
+             hang_seconds: float = 30.0) -> "FaultPlan":
+        """Kill one rank at one deterministic point."""
+        return cls(specs=(FaultSpec(rank, at_call, mode),),
+                   hang_seconds=hang_seconds)
+
+    @classmethod
+    def random(cls, probability: float, seed: int,
+               hang_seconds: float = 30.0) -> "FaultPlan":
+        """Seeded per-call kill probability on every rank."""
+        return cls(probability=probability, seed=seed,
+                   hang_seconds=hang_seconds)
+
+    @classmethod
+    def parse(cls, text: str, hang_seconds: float = 30.0) -> "FaultPlan":
+        """Parse the CLI syntax ``RANK@CALL[:MODE][,RANK@CALL[:MODE]...]``.
+
+        Examples: ``"2@40"`` (rank 2 dies at its 40th comm call),
+        ``"1@25:hang"`` (rank 1 goes silent), ``"0@10,3@80"``.
+        """
+        specs = []
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            body, _, mode = item.partition(":")
+            rank_s, sep, call_s = body.partition("@")
+            if not sep:
+                raise CommError(
+                    f"bad fault spec {item!r}: expected RANK@CALL[:MODE]"
+                )
+            try:
+                rank, at_call = int(rank_s), int(call_s)
+            except ValueError as exc:
+                raise CommError(f"bad fault spec {item!r}: {exc}") from exc
+            specs.append(FaultSpec(rank, at_call, mode or MODE_DIE))
+        if not specs:
+            raise CommError(f"no fault specs in {text!r}")
+        return cls(specs=tuple(specs), hang_seconds=hang_seconds)
+
+    def describe(self) -> str:
+        if self.probability > 0.0:
+            return (f"p={self.probability} per call "
+                    f"(seed {self.seed})")
+        return ",".join(
+            f"{s.rank}@{s.at_call}" + ("" if s.mode == MODE_DIE else f":{s.mode}")
+            for s in self.specs
+        )
+
+
+def _default_fire(mode: str, hang_seconds: float) -> None:
+    """Actually take the process down (or silent)."""
+    if mode == MODE_HANG:
+        # Go silent: peers must detect this via receive timeouts.  The
+        # eventual exit bounds how long an orchestrating ``run_mpi``
+        # waits for this rank's (never-coming) result.
+        time.sleep(hang_seconds)
+    os._exit(FAULT_EXIT_CODE)
+
+
+class FaultInjectingComm(Comm):
+    """A communicator that dies on schedule.
+
+    Delegates everything to ``inner``; before each top-level call it
+    advances the per-rank call counter and fires the plan if a trigger
+    matches.  ``plan_rank`` pins the identity used for trigger matching
+    to the rank's *original* (world) number, so schedules stay meaningful
+    across :meth:`shrink` renumbering.  ``on_fire`` exists for in-process
+    tests (the default really exits).
+    """
+
+    def __init__(
+        self,
+        inner: Comm,
+        plan: FaultPlan,
+        plan_rank: int | None = None,
+        calls: int = 0,
+        on_fire: Callable[[str, float], None] = _default_fire,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.plan_rank = inner.rank if plan_rank is None else plan_rank
+        self.calls = calls
+        self._on_fire = on_fire
+        self._rng = (
+            np.random.default_rng(plan.seed + self.plan_rank)
+            if plan.probability > 0.0
+            else None
+        )
+
+    # -- trigger ----------------------------------------------------------- #
+    def _tick(self) -> None:
+        self.calls += 1
+        mode = self._firing_mode()
+        if mode is not None:
+            self._on_fire(mode, self.plan.hang_seconds)
+
+    def _firing_mode(self) -> str | None:
+        for spec in self.plan.specs:
+            if spec.rank == self.plan_rank and spec.at_call == self.calls:
+                return spec.mode
+        if self._rng is not None:
+            if float(self._rng.random()) < self.plan.probability:
+                return MODE_DIE
+        return None
+
+    # -- delegation -------------------------------------------------------- #
+    @property
+    def rank(self) -> int:
+        return self.inner.rank
+
+    @property
+    def size(self) -> int:
+        return self.inner.size
+
+    @property
+    def bytes_by_tag(self):
+        return self.inner.bytes_by_tag
+
+    @property
+    def calls_by_tag(self):
+        return self.inner.calls_by_tag
+
+    def world_rank(self, rank: int) -> int:
+        return self.inner.world_rank(rank)
+
+    def world_ranks(self, ranks) -> tuple[int, ...]:
+        return self.inner.world_ranks(ranks)
+
+    def send(self, obj: Any, dest: int, tag: str = "generic") -> None:
+        self._tick()
+        self.inner.send(obj, dest, tag)
+
+    def recv(self, source: int, tag: str = "generic") -> Any:
+        self._tick()
+        return self.inner.recv(source, tag)
+
+    def bcast(self, obj: Any, root: int = 0, tag: str = "generic") -> Any:
+        self._tick()
+        return self.inner.bcast(obj, root, tag)
+
+    def reduce(self, obj: Any, op: ReduceOp = ReduceOp.SUM, root: int = 0,
+               tag: str = "generic") -> Any:
+        self._tick()
+        return self.inner.reduce(obj, op, root, tag)
+
+    def allreduce(self, obj: Any, op: ReduceOp = ReduceOp.SUM,
+                  tag: str = "generic") -> Any:
+        self._tick()
+        return self.inner.allreduce(obj, op, tag)
+
+    def barrier(self, tag: str = "generic") -> None:
+        self._tick()
+        self.inner.barrier(tag)
+
+    def gather(self, obj: Any, root: int = 0, tag: str = "generic"):
+        self._tick()
+        return self.inner.gather(obj, root, tag)
+
+    def scatter(self, objs: list[Any] | None, root: int = 0,
+                tag: str = "generic") -> Any:
+        self._tick()
+        return self.inner.scatter(objs, root, tag)
+
+    # -- recovery (delegated, wrapper preserved) --------------------------- #
+    def agree(self, failed) -> frozenset[int]:
+        return self.inner.agree(failed)
+
+    def shrink(self, failed) -> "FaultInjectingComm":
+        """Shrink the inner communicator; the wrapper (with its original
+        plan identity and running call counter) survives, so later
+        triggers for this rank still fire after recovery."""
+        shrunk = self.inner.shrink(failed)
+        return FaultInjectingComm(
+            shrunk, self.plan, plan_rank=self.plan_rank, calls=self.calls,
+            on_fire=self._on_fire,
+        )

@@ -10,30 +10,83 @@ This backend exists to prove the engines genuinely run distributed (the
 consistency tests execute both schemes on 2–4 ranks and compare against
 the sequential reference); the performance model uses the lock-step
 simulator instead.
+
+Fault tolerance (paper Section V, ULFM-style)
+---------------------------------------------
+Every receive is bounded: a peer whose pipe reaches EOF (process death)
+or that stays silent past ``detect_timeout`` raises
+:class:`~repro.errors.RankFailureError` instead of hanging the mesh.
+The rank that detects a failure inside a collective notifies the other
+participants, so the whole mesh surfaces the failure within one
+detection timeout.  Survivors then
+
+* :meth:`MPComm.agree` on the failed set (the ``MPI_Comm_agree``
+  analogue — a rank-ordered round coordinated by the lowest surviving
+  rank), and
+* :meth:`MPComm.shrink` the communicator (the ``MPI_Comm_shrink``
+  analogue — survivors drain stale in-flight messages and renumber
+  densely, preserving rank-ordered determinism).
+
+Every process holds *only* its own pipe ends: both the parent and each
+child close every inherited descriptor that is not theirs, which is what
+makes EOF-based death detection possible in the first place (a forked
+sibling holding a duplicate write end would keep the pipe alive forever).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 import traceback
 from collections import defaultdict
 from typing import Any, Callable
 
-from repro.errors import CommError
+from repro.errors import CommError, RankFailureError
 from repro.par.comm import Comm, ReduceOp, apply_reduce, payload_nbytes
 
-__all__ = ["MPComm", "run_mpi"]
+__all__ = ["MPComm", "run_mpi", "DEFAULT_DETECT_TIMEOUT"]
+
+#: Default seconds a receive may stay silent before the peer is declared dead.
+DEFAULT_DETECT_TIMEOUT = 60.0
+
+_FAILURE = "__rank_failure__"
+_AGREE_REQ = "__agree_req__"
+_AGREE_RESULT = "__agree_result__"
+_SHRINK_MARK = "__shrink_mark__"
+_BARRIER = "__barrier__"
+
+
+def _is_ctrl(msg: Any, kind: str) -> bool:
+    return isinstance(msg, tuple) and len(msg) == 2 and msg[0] == kind
 
 
 class MPComm(Comm):
-    """Mesh-of-pipes communicator for one rank."""
+    """Mesh-of-pipes communicator for one rank.
 
-    def __init__(self, rank: int, size: int, conns: dict[int, Any]) -> None:
+    ``world`` maps this communicator's ranks back to the ranks of the
+    original (pre-:meth:`shrink`) communicator, for reporting.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        conns: dict[int, Any],
+        detect_timeout: float | None = DEFAULT_DETECT_TIMEOUT,
+        world: tuple[int, ...] | None = None,
+    ) -> None:
         self._rank = rank
         self._size = size
         self._conns = conns
+        self._detect_timeout = detect_timeout
+        self._world = tuple(world) if world is not None else tuple(range(size))
         self.bytes_by_tag: dict[str, int] = defaultdict(int)
         self.calls_by_tag: dict[str, int] = defaultdict(int)
+        #: Called with the failed ranks' *world* numbers when this rank
+        #: shrinks past them.  ``run_mpi`` hooks this so the parent can
+        #: reap hung processes the mesh has agreed to exclude, instead of
+        #: waiting out their silence.
+        self.on_failure: Callable[[tuple[int, ...]], None] | None = None
 
     @property
     def rank(self) -> int:
@@ -43,31 +96,98 @@ class MPComm(Comm):
     def size(self) -> int:
         return self._size
 
+    def world_rank(self, rank: int) -> int:
+        """Original (pre-shrink) rank number of ``rank``."""
+        return self._world[rank]
+
+    def world_ranks(self, ranks) -> tuple[int, ...]:
+        return tuple(sorted(self._world[int(r)] for r in ranks))
+
     def _account(self, obj: Any, tag: str) -> None:
         self.bytes_by_tag[tag] += payload_nbytes(obj)
         self.calls_by_tag[tag] += 1
+
+    # -- failure-aware primitives ----------------------------------------- #
+    def _recv_raw(self, source: int, intercept: bool = True) -> Any:
+        """Receive from ``source`` with death/silence detection.
+
+        Raises :class:`RankFailureError` on pipe EOF, on OS-level pipe
+        errors, on silence past ``detect_timeout``, and (when
+        ``intercept``) on an incoming peer failure notice.
+        """
+        conn = self._conns[source]
+        try:
+            if self._detect_timeout is not None and not conn.poll(
+                self._detect_timeout
+            ):
+                raise RankFailureError(
+                    {source},
+                    f"rank {source} (world {self._world[source]}) silent for "
+                    f"{self._detect_timeout:.1f}s",
+                )
+            msg = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise RankFailureError(
+                {source},
+                f"lost connection to rank {source} "
+                f"(world {self._world[source]}): {exc!r}",
+            ) from exc
+        if intercept and _is_ctrl(msg, _FAILURE):
+            raise RankFailureError(msg[1], "peer reported rank failure")
+        return msg
+
+    def _send_raw(self, dest: int, obj: Any) -> None:
+        try:
+            self._conns[dest].send(obj)
+        except (BrokenPipeError, OSError) as exc:
+            raise RankFailureError(
+                {dest},
+                f"cannot send to rank {dest} "
+                f"(world {self._world[dest]}): {exc!r}",
+            ) from exc
+
+    def _abort_collective(self, failed) -> None:
+        """Notify every presumed-alive peer of ``failed``, then raise.
+
+        This is what turns one rank's local detection into a mesh-wide
+        event: peers blocked waiting on *us* (e.g. for the broadcast half
+        of an allreduce) receive the notice instead of data and raise in
+        turn.
+        """
+        failed = {int(r) for r in failed}
+        for r in range(self._size):
+            if r == self._rank or r in failed:
+                continue
+            try:
+                self._conns[r].send((_FAILURE, tuple(sorted(failed))))
+            except OSError:
+                failed.add(r)
+        raise RankFailureError(failed)
 
     # -- point to point -------------------------------------------------- #
     def send(self, obj: Any, dest: int, tag: str = "generic") -> None:
         if dest == self._rank:
             raise CommError("send to self")
         self._account(obj, tag)
-        self._conns[dest].send(obj)
+        self._send_raw(dest, obj)
 
     def recv(self, source: int, tag: str = "generic") -> Any:
         if source == self._rank:
             raise CommError("recv from self")
-        return self._conns[source].recv()
+        return self._recv_raw(source)
 
     # -- collectives ------------------------------------------------------ #
     def bcast(self, obj: Any, root: int = 0, tag: str = "generic") -> Any:
         if self._rank == root:
             self._account(obj, tag)
-            for r in range(self._size):
-                if r != root:
-                    self._conns[r].send(obj)
+            try:
+                for r in range(self._size):
+                    if r != root:
+                        self._send_raw(r, obj)
+            except RankFailureError as exc:
+                self._abort_collective(exc.failed_ranks)
             return obj
-        return self._conns[root].recv()
+        return self._recv_raw(root)
 
     def reduce(
         self, obj: Any, op: ReduceOp = ReduceOp.SUM, root: int = 0,
@@ -75,12 +195,17 @@ class MPComm(Comm):
     ) -> Any:
         if self._rank == root:
             contributions = []
-            for r in range(self._size):
-                contributions.append(obj if r == root else self._conns[r].recv())
+            try:
+                for r in range(self._size):
+                    contributions.append(
+                        obj if r == root else self._recv_raw(r)
+                    )
+            except RankFailureError as exc:
+                self._abort_collective(exc.failed_ranks)
             self._account(obj, tag)
             return apply_reduce(op, contributions)
         self._account(obj, tag)
-        self._conns[root].send(obj)
+        self._send_raw(root, obj)
         return None
 
     def allreduce(self, obj: Any, op: ReduceOp = ReduceOp.SUM, tag: str = "generic") -> Any:
@@ -90,48 +215,193 @@ class MPComm(Comm):
     def barrier(self, tag: str = "generic") -> None:
         self.calls_by_tag[tag] += 1
         if self._rank == 0:
-            for r in range(1, self._size):
-                self._conns[r].recv()
-            for r in range(1, self._size):
-                self._conns[r].send(("__barrier__",))
+            try:
+                for r in range(1, self._size):
+                    self._recv_raw(r)
+                for r in range(1, self._size):
+                    self._send_raw(r, (_BARRIER,))
+            except RankFailureError as exc:
+                self._abort_collective(exc.failed_ranks)
         else:
-            self._conns[0].send(("__barrier__",))
-            self._conns[0].recv()
+            self._send_raw(0, (_BARRIER,))
+            self._recv_raw(0)
 
     def gather(self, obj: Any, root: int = 0, tag: str = "generic") -> list[Any] | None:
         if self._rank == root:
             out = []
-            for r in range(self._size):
-                out.append(obj if r == root else self._conns[r].recv())
+            try:
+                for r in range(self._size):
+                    out.append(obj if r == root else self._recv_raw(r))
+            except RankFailureError as exc:
+                self._abort_collective(exc.failed_ranks)
             return out
         self._account(obj, tag)
-        self._conns[root].send(obj)
+        self._send_raw(root, obj)
         return None
 
     def scatter(self, objs: list[Any] | None, root: int = 0, tag: str = "generic") -> Any:
         if self._rank == root:
             if objs is None or len(objs) != self._size:
                 raise CommError("scatter needs one element per rank")
-            for r in range(self._size):
-                if r != root:
-                    self._account(objs[r], tag)
-                    self._conns[r].send(objs[r])
+            try:
+                for r in range(self._size):
+                    if r != root:
+                        self._account(objs[r], tag)
+                        self._send_raw(r, objs[r])
+            except RankFailureError as exc:
+                self._abort_collective(exc.failed_ranks)
             return objs[root]
-        return self._conns[root].recv()
+        return self._recv_raw(root)
+
+    # -- ULFM-style recovery ---------------------------------------------- #
+    def _recv_ctrl(self, source: int, want: str, known: set[int]) -> set[int]:
+        """Receive a typed control message, discarding stale in-flight
+        data (aborted-collective contributions, duplicate failure
+        notices) that may precede it on the FIFO pipe."""
+        while True:
+            msg = self._recv_raw(source, intercept=False)
+            if _is_ctrl(msg, want):
+                return {int(r) for r in msg[1]}
+            if _is_ctrl(msg, _FAILURE):
+                known.update(int(r) for r in msg[1])
+                continue
+            # anything else is stale data from an aborted collective
+
+    def agree(self, failed) -> frozenset[int]:
+        """Agree with the other survivors on the set of failed ranks.
+
+        The ``MPI_Comm_agree`` analogue: the lowest presumed-surviving
+        rank coordinates, unions every survivor's locally-detected failed
+        set (a survivor that stays silent past the detection timeout is
+        itself added), and distributes the result.  If the coordinator
+        dies mid-agreement the round restarts under the next survivor.
+        """
+        known = {int(r) for r in failed}
+        known.discard(self._rank)
+        while True:
+            survivors = [r for r in range(self._size) if r not in known]
+            if not survivors:  # pragma: no cover - defensive
+                raise CommError("agreement failed: no surviving ranks")
+            if survivors == [self._rank]:
+                return frozenset(known)
+            coord = survivors[0]
+            try:
+                if self._rank == coord:
+                    for r in survivors[1:]:
+                        if r in known:
+                            continue
+                        try:
+                            known |= self._recv_ctrl(r, _AGREE_REQ, known)
+                        except RankFailureError as exc:
+                            known.update(int(x) for x in exc.failed_ranks)
+                    known.discard(self._rank)
+                    out = tuple(sorted(known))
+                    for r in range(self._size):
+                        if r == self._rank or r in known:
+                            continue
+                        try:
+                            self._conns[r].send((_AGREE_RESULT, out))
+                        except OSError:
+                            # died after contributing; the shrink drain
+                            # (or the next collective) will surface it
+                            pass
+                    return frozenset(known)
+                self._send_raw(coord, (_AGREE_REQ, tuple(sorted(known))))
+                return frozenset(self._recv_ctrl(coord, _AGREE_RESULT, known))
+            except RankFailureError as exc:
+                known.update(int(r) for r in exc.failed_ranks)
+                known.discard(self._rank)
+
+    def shrink(self, failed) -> "MPComm":
+        """Return a densely renumbered communicator over the survivors.
+
+        The ``MPI_Comm_shrink`` analogue.  Survivors exchange a shrink
+        mark and drain every pairwise pipe up to it, flushing stale
+        messages of the aborted collective, so the new communicator
+        starts clean; survivor order is preserved, keeping rank-ordered
+        reductions bitwise deterministic.  Byte/call accounting carries
+        over.  A survivor dying mid-shrink raises
+        :class:`RankFailureError`; callers should re-agree and retry.
+        """
+        failed = {int(r) for r in failed}
+        if self._rank in failed:
+            raise CommError("cannot shrink: own rank is in the failed set")
+        if not failed:
+            return self
+        survivors = [r for r in range(self._size) if r not in failed]
+        mark = (_SHRINK_MARK, tuple(sorted(failed)))
+        for r in survivors:
+            if r != self._rank:
+                self._send_raw(r, mark)
+        for r in survivors:
+            if r == self._rank:
+                continue
+            while True:
+                msg = self._recv_raw(r, intercept=False)
+                if _is_ctrl(msg, _SHRINK_MARK):
+                    break
+        for r in failed:
+            conn = self._conns.pop(r, None)
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+        new_conns = {
+            new_r: self._conns[old_r]
+            for new_r, old_r in enumerate(survivors)
+            if old_r != self._rank
+        }
+        shrunk = MPComm(
+            survivors.index(self._rank),
+            len(survivors),
+            new_conns,
+            detect_timeout=self._detect_timeout,
+            world=tuple(self._world[r] for r in survivors),
+        )
+        # accounting continues across the failure, in the same dicts
+        shrunk.bytes_by_tag = self.bytes_by_tag
+        shrunk.calls_by_tag = self.calls_by_tag
+        shrunk.on_failure = self.on_failure
+        if self.on_failure is not None:
+            try:
+                self.on_failure(tuple(self._world[r] for r in sorted(failed)))
+            except OSError:  # pragma: no cover - parent gone
+                pass
+        return shrunk
 
 
 def _child(
     rank: int,
     size: int,
-    conns: dict[int, Any],
-    result_conn: Any,
+    all_ends: dict[int, dict[int, Any]],
+    result_pipes: list,
     fn: Callable,
     payload: Any,
+    detect_timeout: float | None,
 ) -> None:
-    comm = MPComm(rank, size, conns)
+    # Close every inherited descriptor that is not ours: without this a
+    # dead sibling's pipes would be held open by our duplicate fds and
+    # its peers (and the parent) would never observe EOF.
+    for q, peer_conns in all_ends.items():
+        if q == rank:
+            continue
+        for conn in peer_conns.values():
+            conn.close()
+    for q, (recv_end, send_end) in enumerate(result_pipes):
+        recv_end.close()
+        if q != rank:
+            send_end.close()
+    result_conn = result_pipes[rank][1]
+    comm = MPComm(rank, size, all_ends[rank], detect_timeout=detect_timeout)
+    comm.on_failure = lambda world_failed: result_conn.send(
+        ("failure_notice", world_failed, {})
+    )
     try:
         result = fn(comm, payload)
         result_conn.send(("ok", result, dict(comm.bytes_by_tag)))
+    except RankFailureError as exc:
+        result_conn.send(("failed", tuple(sorted(exc.failed_ranks)), {}))
     except BaseException:
         result_conn.send(("error", traceback.format_exc(), {}))
     finally:
@@ -143,11 +413,21 @@ def run_mpi(
     fn: Callable[[Comm, Any], Any],
     payloads: list[Any] | None = None,
     timeout: float = 600.0,
+    detect_timeout: float | None = None,
+    allow_failures: bool = False,
 ) -> list[Any]:
     """Run ``fn(comm, payloads[rank])`` on ``n_ranks`` forked processes.
 
     Returns the per-rank results in rank order.  Any rank raising makes
     the whole call raise :class:`CommError` with the child traceback.
+
+    ``detect_timeout`` bounds how long any in-mesh receive may wait on a
+    silent peer before raising :class:`RankFailureError` (defaults to
+    ``min(60, timeout)``).  A rank dying without reporting raises
+    :class:`RankFailureError` naming the dead ranks — unless
+    ``allow_failures`` is set, in which case dead ranks simply yield
+    ``None`` results (the mode the fault-tolerant launchers use: the
+    survivors' results carry the recovery story).
     """
     if n_ranks < 1:
         raise CommError("need at least one rank")
@@ -159,6 +439,8 @@ def run_mpi(
         from repro.par.seqcomm import SequentialComm
 
         return [fn(SequentialComm(), payloads[0])]
+    if detect_timeout is None:
+        detect_timeout = min(DEFAULT_DETECT_TIMEOUT, timeout)
 
     ctx = mp.get_context("fork")
     # full mesh of duplex pipes
@@ -173,42 +455,98 @@ def run_mpi(
     for r in range(n_ranks):
         proc = ctx.Process(
             target=_child,
-            args=(r, n_ranks, ends[r], result_pipes[r][1], fn, payloads[r]),
+            args=(r, n_ranks, ends, result_pipes, fn, payloads[r],
+                  detect_timeout),
         )
         proc.start()
         procs.append(proc)
+    # Drop the parent's copies of every child-side descriptor so that a
+    # rank's death closes its pipes for good (EOF-based detection).
+    for r in range(n_ranks):
+        for conn in ends[r].values():
+            conn.close()
+        result_pipes[r][1].close()
+
     results: list[Any] = [None] * n_ranks
     errors: list[str] = []
+    failed: set[int] = set()
+    pending = set(range(n_ranks))
     try:
         # Poll all ranks round-robin so one rank's early crash surfaces
         # immediately instead of deadlocking its peers until the timeout.
-        import time as _time
-
-        pending = set(range(n_ranks))
-        deadline = _time.monotonic() + timeout
+        deadline = time.monotonic() + timeout
+        last_progress = time.monotonic()
         while pending:
             progressed = False
             for r in sorted(pending):
                 recv_end = result_pipes[r][0]
                 if recv_end.poll(0.05):
-                    status, value, _bytes = recv_end.recv()
-                    pending.discard(r)
                     progressed = True
+                    try:
+                        status, value, _bytes = recv_end.recv()
+                    except (EOFError, OSError):
+                        # the rank died without reporting
+                        failed.add(r)
+                        pending.discard(r)
+                        continue
+                    if status == "failure_notice":
+                        # survivors agreed these ranks are out of the
+                        # mesh; reap hung ones instead of waiting out
+                        # their silence (r itself still owes a result)
+                        for x in value:
+                            x = int(x)
+                            failed.add(x)
+                            if x in pending and procs[x].is_alive():
+                                procs[x].terminate()
+                        continue
+                    pending.discard(r)
                     if status == "ok":
                         results[r] = value
+                    elif status == "failed":
+                        # a survivor aborted because of dead peers
+                        failed.update(int(x) for x in value)
                     else:
                         errors.append(f"rank {r}:\n{value}")
+            now = time.monotonic()
+            if progressed:
+                last_progress = now
             if errors:
                 break  # peers of a crashed rank may hang; bail out now
-            if not progressed and _time.monotonic() > deadline:
-                errors.append(f"ranks {sorted(pending)}: timeout after {timeout}s")
+            if failed and now - last_progress > 2.0 * detect_timeout + 5.0:
+                # a failure happened and nothing has moved for a full
+                # detection window: whatever is left is wedged
+                failed.update(pending)
+                break
+            if now > deadline:
+                if failed:
+                    failed.update(pending)
+                else:
+                    errors.append(
+                        f"ranks {sorted(pending)}: timeout after {timeout}s"
+                    )
                 break
     finally:
+        # A hung or aborted mesh cannot be joined politely: terminate
+        # whatever is still alive first, then reap, then close our pipe
+        # ends so nothing leaks across tests.
+        if errors or pending or failed:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
         for proc in procs:
             proc.join(timeout=10)
-            if proc.is_alive():
-                proc.terminate()
+            if proc.is_alive():  # pragma: no cover - terminate() refused
+                proc.kill()
                 proc.join()
+        for r in range(n_ranks):
+            try:
+                result_pipes[r][0].close()
+            except OSError:  # pragma: no cover
+                pass
     if errors:
         raise CommError("distributed run failed:\n" + "\n".join(errors))
+    if failed and not allow_failures:
+        raise RankFailureError(
+            failed, f"rank(s) {sorted(failed)} failed during distributed run"
+        )
     return results

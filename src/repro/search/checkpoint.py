@@ -14,6 +14,7 @@ identical state, so any one of them can write it — maximum redundancy).
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -74,7 +75,22 @@ def save_checkpoint(path, lik, iteration: int, radius: int, logl: float) -> None
     arrays["__meta__"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     ).copy()
-    np.savez_compressed(Path(path), **arrays)
+    # Atomic write: a crash mid-write (the very event checkpoints guard
+    # against) must never leave a torn archive where the previous good
+    # checkpoint used to be.  Write a sibling, fsync, then rename over.
+    final = Path(path)
+    if final.suffix != ".npz":  # np.savez appends .npz for bare paths
+        final = final.with_name(final.name + ".npz")
+    tmp = final.with_name(final.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def _edge_name(tree, u, v) -> str:

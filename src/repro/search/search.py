@@ -48,6 +48,8 @@ class SearchConfig:
     psr_candidates: int = 12
     accept_epsilon: float = 1.0e-3
     lazy_newton_iters: int = 8
+    checkpoint_every: int = 0
+    checkpoint_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
@@ -56,6 +58,10 @@ class SearchConfig:
             raise SearchError("invalid radius schedule")
         if self.max_iterations < 1:
             raise SearchError("need at least one iteration")
+        if self.checkpoint_every < 0:
+            raise SearchError("checkpoint_every must be >= 0")
+        if self.checkpoint_every > 0 and not self.checkpoint_path:
+            raise SearchError("checkpoint_every needs a checkpoint_path")
 
 
 @dataclass
@@ -78,6 +84,22 @@ def hill_climb(backend, config: SearchConfig | None = None) -> SearchResult:
     """
     config = config or SearchConfig()
     tree = backend.tree
+
+    def maybe_checkpoint(iteration: int, radius: int, logl: float) -> None:
+        # Periodic checkpointing (RAxML-Light's headline feature): only
+        # backends that expose their full likelihood state can write one,
+        # and in a replicated run only one rank should (all replicas hold
+        # identical state — maximum redundancy, any writer works).
+        if not config.checkpoint_every or iteration % config.checkpoint_every:
+            return
+        if not getattr(backend, "writes_checkpoints", True):
+            return
+        lik = getattr(backend, "lik", None)
+        if lik is None:  # pragma: no cover - recording/model backends
+            return
+        from repro.search.checkpoint import save_checkpoint
+
+        save_checkpoint(config.checkpoint_path, lik, iteration, radius, logl)
 
     def anchor():
         # SPR moves may delete whichever edge we evaluated at last time;
@@ -133,6 +155,7 @@ def hill_climb(backend, config: SearchConfig | None = None) -> SearchResult:
         improvement = new_logl - logl
         logl = max(logl, new_logl)
         trace.append(logl)
+        maybe_checkpoint(iterations, radius, logl)
 
         if improvement < config.epsilon and stats.moves_accepted == 0:
             if radius >= config.radius_max:

@@ -138,3 +138,51 @@ class TestErrors:
         meta, arrays = load_checkpoint(path)
         with pytest.raises(CheckpointError, match="mismatch"):
             restore_into(lik2, meta, arrays)
+
+
+class TestAtomicity:
+    """Checkpoints guard against crashes — writing one must never leave a
+    torn archive where the previous good checkpoint used to be."""
+
+    def test_no_tmp_sibling_left_behind(self, optimized, tmp_path):
+        aln, scheme, lik, logl = optimized
+        path = tmp_path / "atomic.npz"
+        save_checkpoint(path, lik, 1, 1, logl)
+        assert path.exists()
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_bare_path_gets_npz_suffix(self, optimized, tmp_path):
+        aln, scheme, lik, logl = optimized
+        save_checkpoint(tmp_path / "bare", lik, 1, 1, logl)
+        assert (tmp_path / "bare.npz").exists()
+
+    def test_overwrite_is_all_or_nothing(self, optimized, tmp_path,
+                                         monkeypatch):
+        aln, scheme, lik, logl = optimized
+        path = tmp_path / "survives.npz"
+        save_checkpoint(path, lik, iteration=1, radius=1, logl=logl)
+        good = path.read_bytes()
+
+        import os as _os
+        def exploding_fsync(fd):
+            raise OSError("disk went away")
+        monkeypatch.setattr(_os, "fsync", exploding_fsync)
+        with pytest.raises(OSError):
+            save_checkpoint(path, lik, iteration=2, radius=2, logl=logl)
+        monkeypatch.undo()
+
+        # the old checkpoint is intact and loadable, no .tmp debris
+        assert path.read_bytes() == good
+        meta, _ = load_checkpoint(path)
+        assert meta["iteration"] == 1
+        assert not (tmp_path / "survives.npz.tmp").exists()
+
+    def test_truncated_file_rejected(self, optimized, tmp_path):
+        aln, scheme, lik, logl = optimized
+        path = tmp_path / "torn.npz"
+        save_checkpoint(path, lik, 1, 1, logl)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # simulate a torn write
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)

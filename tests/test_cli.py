@@ -98,3 +98,45 @@ class TestReport:
         out = capsys.readouterr().out
         assert "traversal descriptor" in out
         assert "ExaML" in out
+
+
+class TestDistributedInfer:
+    def test_decentralized_engine(self, fasta_path, tmp_path):
+        out = tmp_path / "dec.nwk"
+        rc = main(["infer", str(fasta_path), "-n", "2", "-r", "2",
+                   "-o", str(out), "--no-gtr",
+                   "--engine", "decentralized", "--ranks", "2"])
+        assert rc == 0
+        assert parse_newick(out.read_text()).n_taxa == 8
+
+    def test_decentralized_survives_injected_failure(self, fasta_path,
+                                                     tmp_path, capsys):
+        out = tmp_path / "rec.nwk"
+        rc = main(["infer", str(fasta_path), "-n", "2", "-r", "2",
+                   "-o", str(out), "--no-gtr",
+                   "--engine", "decentralized", "--ranks", "3",
+                   "--inject-failure", "1@25"])
+        assert rc == 0
+        assert parse_newick(out.read_text()).n_taxa == 8
+        err = capsys.readouterr().err
+        assert "recovered" in err
+
+    def test_forkjoin_engine_with_periodic_checkpoint(self, fasta_path,
+                                                      tmp_path):
+        out = tmp_path / "fj.nwk"
+        ckpt = tmp_path / "fj.npz"
+        rc = main(["infer", str(fasta_path), "-n", "2", "-r", "2",
+                   "-o", str(out), "--no-gtr",
+                   "--engine", "forkjoin", "--ranks", "2",
+                   "--checkpoint", str(ckpt), "--checkpoint-every", "1"])
+        assert rc == 0
+        assert ckpt.exists()
+
+    def test_checkpoint_every_requires_path(self, fasta_path):
+        with pytest.raises(SystemExit):
+            main(["infer", str(fasta_path), "--checkpoint-every", "2"])
+
+    def test_resume_rejected_for_distributed(self, fasta_path, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["infer", str(fasta_path), "--engine", "forkjoin",
+                  "--resume", str(tmp_path / "x.npz")])

@@ -90,3 +90,36 @@ class TestForkJoinContrast:
         report = forkjoin_failure_outcome([11])
         assert not report.recoverable
         assert "checkpoint" in report.reason
+
+
+class TestConservation:
+    """Recovery must conserve every partition's pattern mass — silent loss
+    or duplication during re-homing becomes a hard DistributionError."""
+
+    def test_valid_recoveries_pass(self, mps_dist, cyclic_dist):
+        # the check runs inside redistribute_after_failure on both kinds
+        assert redistribute_after_failure(mps_dist, [5]).recoverable
+        assert redistribute_after_failure(cyclic_dist, [5]).recoverable
+
+    def test_lost_patterns_detected(self, cyclic_dist):
+        from repro.dist.distributions import DataDistribution
+        from repro.engines.fault import _check_conservation
+
+        report = redistribute_after_failure(cyclic_dist, [3])
+        good = report.new_distribution
+        corrupted = DataDistribution(
+            kind="cyclic", owned=good.owned * 0.999  # 0.1% of the mass gone
+        )
+        with pytest.raises(DistributionError, match="lost patterns"):
+            _check_conservation(cyclic_dist, corrupted)
+
+    def test_tiny_float_drift_tolerated(self, cyclic_dist):
+        from repro.dist.distributions import DataDistribution
+        from repro.engines.fault import _check_conservation
+
+        report = redistribute_after_failure(cyclic_dist, [3])
+        drifted = DataDistribution(
+            kind="cyclic",
+            owned=report.new_distribution.owned * (1.0 + 1e-13),
+        )
+        _check_conservation(cyclic_dist, drifted)  # must not raise
