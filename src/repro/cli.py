@@ -9,7 +9,11 @@ Commands mirror the RAxML-Light/ExaML workflow the paper describes:
 * ``simulate`` — generate a benchmark alignment along a random tree;
 * ``convert``  — convert alignments between FASTA/PHYLIP/binary formats;
 * ``report``   — run an instrumented search and print the Table-I style
-  communication breakdown plus simulated runtimes for both engines.
+  communication breakdown plus simulated runtimes for both engines;
+* ``profile``  — run the engines live on real processes with span tracing
+  on, export per-rank JSONL + a merged Chrome/Perfetto trace, and
+  reconcile measured collective bytes against the analytic comm models
+  (``--trace-out``, ``--trace-format``, ``--reconcile``).
 """
 
 from __future__ import annotations
@@ -238,6 +242,126 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Live 2-engine profiling: trace, export, reconcile."""
+    import time
+
+    from repro.engines.launch import run_decentralized, run_forkjoin
+    from repro.likelihood.partitioned import PartitionedLikelihood
+    from repro.obs.export import (
+        merge_rank_streams,
+        rank_trace_path,
+        write_chrome_trace,
+    )
+    from repro.obs.reconcile import (
+        DECENTRALIZED_REL_TOL,
+        FORKJOIN_REL_TOL,
+        reconcile_live_run,
+    )
+    from repro.search.search import SearchConfig
+    from repro.seq.partitions import read_partition_file
+    from repro.tree.newick import write_newick
+    from repro.tree.random_trees import random_topology
+
+    alignment = _load_alignment(args.alignment)
+    scheme = read_partition_file(args.partitions) if args.partitions else None
+    tree = random_topology(alignment.taxa, rng=args.seed)
+    config = SearchConfig(max_iterations=args.iterations,
+                          radius_max=args.radius)
+    engines = (["decentralized", "forkjoin"] if args.engine == "both"
+               else [args.engine])
+    trace_root = Path(args.trace_out)
+    bench: dict = {
+        "kind": "obs_profile",
+        "alignment": str(args.alignment),
+        "ranks": args.ranks,
+        "iterations": args.iterations,
+        "engines": {},
+    }
+    all_within = True
+
+    for engine in engines:
+        # fresh likelihood per engine: the search mutates model state
+        lik = PartitionedLikelihood.build(
+            alignment, tree, scheme=scheme, rate_mode=args.model,
+            per_partition_branches=args.per_partition_branches,
+        )
+        newick = write_newick(tree)
+        trace_dir = trace_root / engine
+        t0 = time.perf_counter()
+        if engine == "decentralized":
+            replicas = run_decentralized(
+                lik.parts, lik.taxa, newick, n_ranks=args.ranks,
+                config=config, dist_kind=args.dist,
+                n_branch_sets=lik.n_branch_sets, trace_dir=trace_dir,
+            )
+            # a non-root replica measures exactly one payload per
+            # allreduce (the model's convention); see obs.reconcile
+            measured_rank = 1 if args.ranks > 1 else 0
+            res = replicas[measured_rank]
+        else:
+            res = run_forkjoin(
+                lik.parts, lik.taxa, newick, n_ranks=args.ranks,
+                config=config, dist_kind=args.dist,
+                n_branch_sets=lik.n_branch_sets, trace_dir=trace_dir,
+            )
+            measured_rank = 0
+        wall_s = time.perf_counter() - t0
+
+        rank_paths = [rank_trace_path(trace_dir, r)
+                      for r in range(args.ranks)]
+        rank_paths = [p for p in rank_paths if p.exists()]
+        merged = merge_rank_streams(rank_paths)
+        chrome_path = None
+        if args.trace_format == "chrome":
+            chrome_path = trace_dir / "trace.chrome.json"
+            write_chrome_trace(merged, chrome_path)
+        print(f"[{engine}] {args.ranks} ranks, {wall_s:.2f}s wall, "
+              f"{len(merged)} spans from {len(rank_paths)} rank stream(s)"
+              + (f" -> {chrome_path}" if chrome_path else ""),
+              file=sys.stderr)
+
+        entry: dict = {
+            "wall_s": wall_s,
+            "logl": res.logl,
+            "bytes_by_tag": dict(res.bytes_by_tag),
+            "n_spans": len(merged),
+            "trace_dir": str(trace_dir),
+        }
+        if args.reconcile:
+            report = reconcile_live_run(
+                lik.parts, lik.taxa, newick, config, engine,
+                res.bytes_by_tag, measured_calls_by_tag=res.calls_by_tag,
+                n_branch_sets=lik.n_branch_sets,
+                measured_rank=measured_rank,
+            )
+            tolerance = args.tolerance
+            if tolerance is None:
+                tolerance = (DECENTRALIZED_REL_TOL
+                             if engine == "decentralized"
+                             else FORKJOIN_REL_TOL)
+            within = report.within(tolerance)
+            all_within = all_within and within
+            print(report.format_table())
+            print(f"tolerance (max relative byte error): {tolerance:g} -> "
+                  f"{'OK' if within else 'OUT OF TOLERANCE'}")
+            entry["reconcile"] = report.to_dict()
+            entry["tolerance"] = tolerance
+            entry["within_tolerance"] = within
+        bench["engines"][engine] = entry
+
+    if args.bench_out:
+        import json
+
+        Path(args.bench_out).write_text(json.dumps(bench, indent=2) + "\n")
+        print(f"bench record written to {args.bench_out}", file=sys.stderr)
+    if args.reconcile and not all_within:
+        print("reconciliation failed: measured bytes deviate from the "
+              "comm model beyond tolerance", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -317,6 +441,52 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--ranks", type=int, nargs="+",
                      default=[48, 192, 768])
     rep.set_defaults(func=_cmd_report)
+
+    prof = sub.add_parser(
+        "profile",
+        help="live multi-process run with span tracing, Chrome-trace "
+             "export and model-vs-measured reconciliation")
+    prof.add_argument("alignment", help="FASTA/PHYLIP/binary alignment")
+    prof.add_argument("-q", "--partitions",
+                      help="RAxML-style partition file")
+    prof.add_argument("-m", "--model", choices=["gamma", "psr", "none"],
+                      default="gamma")
+    prof.add_argument("-M", dest="per_partition_branches",
+                      action="store_true")
+    prof.add_argument("-n", "--iterations", type=int, default=1)
+    prof.add_argument("-r", "--radius", type=int, default=2)
+    prof.add_argument("-s", "--seed", type=int, default=42)
+    prof.add_argument("--engine",
+                      choices=["decentralized", "forkjoin", "both"],
+                      default="both",
+                      help="which engine(s) to profile (default both)")
+    prof.add_argument("--ranks", type=int, default=2,
+                      help="process count (default 2)")
+    prof.add_argument("--dist", choices=["cyclic", "mps"],
+                      default="cyclic")
+    prof.add_argument("--trace-out", default="trace", metavar="DIR",
+                      help="directory for per-rank JSONL and merged "
+                           "traces (one subdir per engine; default "
+                           "./trace)")
+    prof.add_argument("--trace-format", choices=["jsonl", "chrome"],
+                      default="chrome",
+                      help="'chrome' additionally writes a merged "
+                           "Perfetto-loadable trace.chrome.json "
+                           "(default); 'jsonl' keeps only the per-rank "
+                           "streams")
+    prof.add_argument("--reconcile", action="store_true",
+                      help="replay the run on the analytic comm model "
+                           "and compare measured vs modeled bytes per "
+                           "Table-I category; non-zero exit if out of "
+                           "tolerance")
+    prof.add_argument("--tolerance", type=float, default=None,
+                      metavar="REL",
+                      help="max relative byte error for --reconcile "
+                           "(default: exact for decentralized, the "
+                           "documented framing tolerance for fork-join)")
+    prof.add_argument("--bench-out", metavar="PATH",
+                      help="write a JSON bench record here")
+    prof.set_defaults(func=_cmd_profile)
     return parser
 
 

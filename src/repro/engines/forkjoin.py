@@ -344,17 +344,25 @@ def forkjoin_worker(
     parts: list,
     node_taxon: dict[int, int],
     n_branch_sets: int,
+    tracer=None,
+    metrics=None,
 ) -> None:
     """Worker loop: execute master commands on local data until STOP.
 
     ``parts`` are the rank's local :class:`PartitionData` shares;
     ``node_taxon`` maps the master tree's leaf node ids to global taxon
-    rows (sent once during setup).
+    rows (sent once during setup).  With a ``tracer``, the lock-step
+    executor emits kernel spans and op counters (see :mod:`repro.obs`).
     """
     from repro.engines.executor import DescriptorExecutor
     from repro.model.rates import PerSiteRates as _PSR
 
-    executor = DescriptorExecutor(parts, node_taxon)
+    if tracer is not None and tracer.enabled:
+        from repro.obs.instrument import TracedExecutor
+
+        executor = TracedExecutor(parts, node_taxon, tracer, metrics)
+    else:
+        executor = DescriptorExecutor(parts, node_taxon)
     branch_sets = np.array([p.branch_set for p in parts], dtype=np.intp)
     handle: list[np.ndarray] | None = None
     root_edge: tuple[int, int] | None = None

@@ -35,6 +35,7 @@ from repro.engines.decentral import DecentralizedBackend, recover_decentralized
 from repro.engines.forkjoin import ForkJoinMasterBackend, forkjoin_worker
 from repro.errors import CommError, RankFailureError
 from repro.likelihood.partitioned import PartitionData, PartitionedLikelihood
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.par.comm import Comm
 from repro.par.faultcomm import FaultInjectingComm, FaultPlan
 from repro.par.mpcomm import run_mpi
@@ -61,6 +62,12 @@ class DistributedResult:
     failed_ranks: tuple[int, ...] = ()
     recoveries: int = 0
     restarts: int = 0
+    #: Collective calls per Table-I tag (always counted, like bytes).
+    calls_by_tag: dict[str, int] = field(default_factory=dict)
+    #: Metrics snapshot of this rank's run (empty when tracing is off).
+    metrics: dict[str, Any] = field(default_factory=dict)
+    #: Path of this rank's JSONL trace stream (None when tracing is off).
+    trace_path: str | None = None
 
 
 def _rebuild_tree(newick: str, n_branch_sets: int) -> Tree:
@@ -77,41 +84,114 @@ def _maybe_inject(comm: Comm, payload: dict[str, Any]) -> Comm:
     return comm
 
 
+def _prepare_trace_dir(trace_dir: str | Path | None) -> str | None:
+    """Create the trace directory in the parent, before ranks fork."""
+    if trace_dir is None:
+        return None
+    path = Path(trace_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    return str(path)
+
+
+def _make_obs(payload: dict[str, Any], world_rank: int):
+    """Build (tracer, metrics) for one rank; the null tracer (and no
+    metrics, and — crucially — no comm wrapper) when tracing is off."""
+    if not payload.get("trace_dir"):
+        return NULL_TRACER, None
+    from repro.obs.metrics import MetricsRegistry
+
+    capacity = payload.get("trace_capacity")
+    tracer = (Tracer(rank=world_rank, capacity=capacity)
+              if capacity else Tracer(rank=world_rank))
+    return tracer, MetricsRegistry()
+
+
+def _wrap_tracing(comm: Comm, tracer, metrics) -> Comm:
+    if not tracer.enabled:
+        return comm
+    from repro.obs.instrument import TracingComm
+
+    return TracingComm(comm, tracer, metrics)
+
+
+def _flush_trace(tracer, payload: dict[str, Any],
+                 world_rank: int) -> str | None:
+    """Write this rank's span stream to ``trace_dir``; rank files are
+    keyed by *original* world rank so shrinks don't collide names."""
+    if not tracer.enabled:
+        return None
+    from repro.obs.export import rank_trace_path, write_jsonl
+
+    path = rank_trace_path(payload["trace_dir"], world_rank)
+    write_jsonl(tracer.spans(), path)
+    return str(path)
+
+
+def _obs_snapshot(metrics, tracer) -> dict[str, Any]:
+    if metrics is None:
+        return {}
+    metrics.gauge("trace.spans").set(len(tracer))
+    metrics.gauge("trace.dropped").set(tracer.dropped)
+    return metrics.snapshot()
+
+
 def _decentral_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult:
-    comm = _maybe_inject(comm, payload)
+    world0 = comm.rank  # original world rank: names the trace stream
+    tracer, metrics = _make_obs(payload, world0)
+    comm = _wrap_tracing(_maybe_inject(comm, payload), tracer, metrics)
     tree = _rebuild_tree(payload["newick"], payload["n_branch_sets"])
     local_parts = split_local_data(
         payload["parts"], comm.rank, comm.size, payload["dist_kind"]
     )
     lik = PartitionedLikelihood(tree, local_parts, payload["taxa"])
     backend = DecentralizedBackend(comm, lik)
+    backend.tracer = tracer
 
     all_failed: list[int] = []
     recoveries = 0
-    while True:
-        try:
-            result = hill_climb(backend, payload["config"])
-            break
-        except RankFailureError as exc:
-            # Section V, live: agree → shrink → redistribute → resume.
-            # The tree and model in `backend` are this replica's full
-            # copy of the search state; only the data share is rebuilt.
-            backend, report = recover_decentralized(
-                backend, exc.failed_ranks, payload["parts"],
-                payload["dist_kind"],
-            )
-            all_failed.extend(comm.world_ranks(report.failed_ranks))
-            comm = backend.comm
-            recoveries += 1
+    try:
+        while True:
+            try:
+                result = hill_climb(backend, payload["config"])
+                break
+            except RankFailureError as exc:
+                # Section V, live: agree → shrink → redistribute → resume.
+                # The tree and model in `backend` are this replica's full
+                # copy of the search state; only the data share is rebuilt.
+                tracer.instant(
+                    "rank_failure", kind="recovery",
+                    failed=sorted(int(r) for r in exc.failed_ranks),
+                )
+                with tracer.span("recover", kind="recovery"):
+                    backend, report = recover_decentralized(
+                        backend, exc.failed_ranks, payload["parts"],
+                        payload["dist_kind"],
+                    )
+                tracer.instant(
+                    "redistribute", kind="recovery",
+                    bytes_moved=report.bytes_moved,
+                    survivors=report.survivors,
+                )
+                all_failed.extend(comm.world_ranks(report.failed_ranks))
+                comm = backend.comm
+                backend.tracer = tracer
+                recoveries += 1
+                if metrics is not None:
+                    metrics.counter("recovery.rounds").inc()
+                tracer.instant("resume", kind="recovery")
+    finally:
+        trace_path = _flush_trace(tracer, payload, world0)
 
-    bytes_by_tag = dict(getattr(comm, "bytes_by_tag", {}))
     return DistributedResult(
         logl=result.logl,
         newick=write_newick(backend.tree, lengths=False),
         iterations=result.iterations,
-        bytes_by_tag=bytes_by_tag,
+        bytes_by_tag=dict(getattr(comm, "bytes_by_tag", {})),
         failed_ranks=tuple(sorted(set(all_failed))),
         recoveries=recoveries,
+        calls_by_tag=dict(getattr(comm, "calls_by_tag", {})),
+        metrics=_obs_snapshot(metrics, tracer),
+        trace_path=trace_path,
     )
 
 
@@ -125,6 +205,8 @@ def run_decentralized(
     n_branch_sets: int = 1,
     fault_plan: FaultPlan | None = None,
     detect_timeout: float | None = None,
+    trace_dir: str | Path | None = None,
+    trace_capacity: int | None = None,
 ) -> list[DistributedResult]:
     """Run the ExaML scheme on ``n_ranks`` real processes.
 
@@ -132,6 +214,11 @@ def run_decentralized(
     returned list holds ``None`` at failed ranks and the survivors'
     results record the failure and recovery (``failed_ranks`` in the
     original rank numbering, ``recoveries``).
+
+    With ``trace_dir``, every rank traces its collectives (spans +
+    counters, see :mod:`repro.obs`) and writes
+    ``trace_dir/trace-rank<R>.jsonl`` before returning; each surviving
+    result carries its metrics snapshot and trace path.
     """
     payload = {
         "parts": parts,
@@ -141,6 +228,8 @@ def run_decentralized(
         "dist_kind": dist_kind,
         "n_branch_sets": n_branch_sets,
         "fault_plan": fault_plan,
+        "trace_dir": _prepare_trace_dir(trace_dir),
+        "trace_capacity": trace_capacity,
     }
     return run_mpi(
         n_ranks,
@@ -152,48 +241,60 @@ def run_decentralized(
 
 
 def _forkjoin_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult | None:
-    comm = _maybe_inject(comm, payload)
+    world0 = comm.rank
+    tracer, metrics = _make_obs(payload, world0)
+    comm = _wrap_tracing(_maybe_inject(comm, payload), tracer, metrics)
     local_parts = split_local_data(
         payload["parts"], comm.rank, comm.size, payload["dist_kind"]
     )
-    if comm.rank == 0:
-        tree = _rebuild_tree(payload["newick"], payload["n_branch_sets"])
-        lik = PartitionedLikelihood(tree, local_parts, payload["taxa"])
-        backend = ForkJoinMasterBackend(comm, lik)
-        resume_from = payload.get("resume_from")
-        if resume_from:
-            from repro.model.rates import DiscreteGamma
-            from repro.search.checkpoint import load_checkpoint, restore_into
+    # Flush in a finally: a RankFailureError unwinding a collective must
+    # still leave this rank's trace (with the error-flagged span) on disk.
+    try:
+        if comm.rank == 0:
+            tree = _rebuild_tree(payload["newick"], payload["n_branch_sets"])
+            lik = PartitionedLikelihood(tree, local_parts, payload["taxa"])
+            backend = ForkJoinMasterBackend(comm, lik)
+            backend.tracer = tracer
+            resume_from = payload.get("resume_from")
+            if resume_from:
+                from repro.model.rates import DiscreteGamma
+                from repro.search.checkpoint import load_checkpoint, restore_into
 
-            meta, arrays = load_checkpoint(resume_from)
-            restore_into(lik, meta, arrays)
-            backend.tree = lik.tree
-            tree = lik.tree
-            # Workers restarted with pristine model parameters; push the
-            # restored ones through the regular broadcast commands so the
-            # mesh is consistent before the search resumes.
-            alphas = {
-                p: lik.get_alpha(p)
-                for p in range(lik.n_partitions)
-                if isinstance(lik.parts[p].rate_het, DiscreteGamma)
-            }
-            if alphas:
-                backend.set_alphas(alphas)
-            backend.set_gtr_rates(
-                {p: lik.parts[p].model.rates for p in range(lik.n_partitions)}
+                meta, arrays = load_checkpoint(resume_from)
+                restore_into(lik, meta, arrays)
+                backend.tree = lik.tree
+                tree = lik.tree
+                # Workers restarted with pristine model parameters; push the
+                # restored ones through the regular broadcast commands so the
+                # mesh is consistent before the search resumes.
+                alphas = {
+                    p: lik.get_alpha(p)
+                    for p in range(lik.n_partitions)
+                    if isinstance(lik.parts[p].rate_het, DiscreteGamma)
+                }
+                if alphas:
+                    backend.set_alphas(alphas)
+                backend.set_gtr_rates(
+                    {p: lik.parts[p].model.rates
+                     for p in range(lik.n_partitions)}
+                )
+            result = hill_climb(backend, payload["config"])
+            return DistributedResult(
+                logl=result.logl,
+                newick=write_newick(tree, lengths=False),
+                iterations=result.iterations,
+                bytes_by_tag=dict(getattr(comm, "bytes_by_tag", {})),
+                restarts=payload.get("restarts", 0),
+                calls_by_tag=dict(getattr(comm, "calls_by_tag", {})),
+                metrics=_obs_snapshot(metrics, tracer),
             )
-        result = hill_climb(backend, payload["config"])
-        return DistributedResult(
-            logl=result.logl,
-            newick=write_newick(tree, lengths=False),
-            iterations=result.iterations,
-            bytes_by_tag=dict(getattr(comm, "bytes_by_tag", {})),
-            restarts=payload.get("restarts", 0),
+        forkjoin_worker(
+            comm, local_parts, payload["node_taxon"],
+            payload["n_branch_sets"], tracer=tracer, metrics=metrics,
         )
-    forkjoin_worker(
-        comm, local_parts, payload["node_taxon"], payload["n_branch_sets"]
-    )
-    return None
+        return None
+    finally:
+        _flush_trace(tracer, payload, world0)
 
 
 def run_forkjoin(
@@ -207,6 +308,8 @@ def run_forkjoin(
     fault_plan: FaultPlan | None = None,
     detect_timeout: float | None = None,
     max_restarts: int = 1,
+    trace_dir: str | Path | None = None,
+    trace_capacity: int | None = None,
 ) -> DistributedResult:
     """Run the RAxML-Light scheme on ``n_ranks`` real processes.
 
@@ -237,6 +340,8 @@ def run_forkjoin(
         "n_branch_sets": n_branch_sets,
         "node_taxon": node_taxon,
         "fault_plan": fault_plan,
+        "trace_dir": _prepare_trace_dir(trace_dir),
+        "trace_capacity": trace_capacity,
     }
     restarts = 0
     while True:
@@ -273,6 +378,10 @@ def run_forkjoin(
     master = results[0]
     if master is None:
         raise CommError("fork-join master returned no result")
+    if payload["trace_dir"]:
+        from repro.obs.export import rank_trace_path
+
+        master.trace_path = str(rank_trace_path(payload["trace_dir"], 0))
     return master
 
 

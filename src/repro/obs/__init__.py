@@ -1,0 +1,75 @@
+"""Live observability: span tracing, metrics, trace export, reconciliation.
+
+The analytic layers (:mod:`repro.perf`, the engine comm models) *predict*
+where time and bytes go; this subsystem *measures* it on real
+multiprocess runs and closes the loop:
+
+* :mod:`repro.obs.tracer` — per-rank span tracing with a ring buffer and
+  a zero-cost null tracer;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms for collective
+  calls, payload bytes, kernel ops, failures and recoveries;
+* :mod:`repro.obs.instrument` — :class:`TracingComm` /
+  :class:`TracedExecutor` wrappers that instrument any communicator and
+  the lock-step worker kernel without touching semantics;
+* :mod:`repro.obs.export` — per-rank JSONL streams, cross-rank merging,
+  Chrome-trace/Perfetto JSON;
+* :mod:`repro.obs.reconcile` — measured-vs-modeled byte reconciliation
+  per Table-I category.
+
+See ``docs/OBSERVABILITY.md`` for the workflow, and ``repro profile`` on
+the CLI for the one-command version.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    merge_rank_streams,
+    rank_trace_path,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.instrument import TracedExecutor, TracingComm
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.obs.reconcile import (
+    DECENTRALIZED_REL_TOL,
+    FORKJOIN_REL_TOL,
+    CategoryDelta,
+    ReconcileReport,
+    modeled_byte_totals,
+    reconcile,
+    reconcile_live_run,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "TracingComm",
+    "TracedExecutor",
+    "chrome_trace",
+    "merge_rank_streams",
+    "rank_trace_path",
+    "read_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "CategoryDelta",
+    "ReconcileReport",
+    "modeled_byte_totals",
+    "reconcile",
+    "reconcile_live_run",
+    "DECENTRALIZED_REL_TOL",
+    "FORKJOIN_REL_TOL",
+]

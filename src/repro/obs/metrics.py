@@ -1,0 +1,146 @@
+"""Metrics registry: counters, gauges and histograms for live runs.
+
+The observability layer counts what the analytic models only predict:
+collective calls and payload bytes per Table-I tag, kernel invocations,
+failure detections and recovery rounds.  A :class:`MetricsRegistry` is
+process-local (one per rank); its :meth:`~MetricsRegistry.snapshot` is a
+plain JSON-safe dict that travels home through the launcher's result
+pipe, and snapshots from several ranks can be combined with
+:func:`merge_snapshots`.
+
+Metric names are dotted paths, e.g. ``comm.calls.allreduce`` or
+``comm.bytes.tag.traversal descriptor``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+]
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count (calls, bytes, failures)."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-written value (ring occupancy, current rank count)."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of an observed distribution (no raw samples)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0}
+        return {"count": self.count, "total": self.total, "min": self.min,
+                "max": self.max, "mean": self.mean}
+
+
+@dataclass
+class MetricsRegistry:
+    """Name → metric store; metrics are created on first use."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self.counters[name]
+        except KeyError:
+            metric = self.counters[name] = Counter()
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self.gauges[name]
+        except KeyError:
+            metric = self.gauges[name] = Gauge()
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        try:
+            return self.histograms[name]
+        except KeyError:
+            metric = self.histograms[name] = Histogram()
+            return metric
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-safe copy of every metric's current value."""
+        return {
+            "counters": {k: v.value for k, v in sorted(self.counters.items())},
+            "gauges": {k: v.value for k, v in sorted(self.gauges.items())},
+            "histograms": {
+                k: v.to_dict() for k, v in sorted(self.histograms.items())
+            },
+        }
+
+
+def merge_snapshots(snapshots: list[dict[str, Any]]) -> dict[str, Any]:
+    """Combine per-rank snapshots: counters sum, gauges take the max,
+    histograms merge their streaming summaries."""
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    hists: dict[str, dict[str, float]] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for k, v in snap.get("counters", {}).items():
+            counters[k] = counters.get(k, 0.0) + v
+        for k, v in snap.get("gauges", {}).items():
+            gauges[k] = max(gauges.get(k, float("-inf")), v)
+        for k, h in snap.get("histograms", {}).items():
+            if not h.get("count"):
+                continue
+            if k not in hists:
+                hists[k] = dict(h)
+            else:
+                acc = hists[k]
+                acc["count"] += h["count"]
+                acc["total"] += h["total"]
+                acc["min"] = min(acc["min"], h["min"])
+                acc["max"] = max(acc["max"], h["max"])
+                acc["mean"] = acc["total"] / acc["count"]
+    return {"counters": counters, "gauges": gauges, "histograms": hists}

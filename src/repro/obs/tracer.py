@@ -1,0 +1,213 @@
+"""Low-overhead span tracing for live distributed runs.
+
+A :class:`Span` is one timed region on one rank: a communicator
+collective, a kernel batch, a search phase, or a recovery step.  Spans
+are recorded into a process-local ring buffer (bounded memory, oldest
+spans dropped first) and exported after the run by :mod:`repro.obs.export`.
+
+Timestamps come from :func:`time.perf_counter_ns`, which reads
+``CLOCK_MONOTONIC`` — a *system-wide* clock on Linux, so spans recorded
+by forked ranks of one :func:`repro.par.mpcomm.run_mpi` mesh share a
+timebase and can be merged into a single cross-rank timeline without any
+clock synchronization.
+
+When tracing is off the engines use :data:`NULL_TRACER`, whose
+``span()`` hands back one shared no-op context manager — no allocation,
+no timestamp read, no branch in the buffer — so the hot path costs
+essentially nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+#: Default ring-buffer capacity (spans per rank).
+DEFAULT_CAPACITY = 65536
+
+#: Span kinds (the ``tid`` axis of the Chrome-trace export).
+KIND_COMM = "comm"
+KIND_KERNEL = "kernel"
+KIND_SEARCH = "search"
+KIND_RECOVERY = "recovery"
+
+
+@dataclass
+class Span:
+    """One timed (or instantaneous) event on one rank.
+
+    ``t1_ns < 0`` marks a span that is still open; committed spans always
+    have ``t1_ns >= t0_ns``.  ``error`` is set when the span was closed by
+    an exception unwinding through it (e.g. a
+    :class:`~repro.errors.RankFailureError` aborting a collective).
+    """
+
+    name: str
+    kind: str
+    rank: int
+    t0_ns: int
+    t1_ns: int = -1
+    category: str = ""
+    nbytes: int = 0
+    error: bool = False
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        return max(0, self.t1_ns - self.t0_ns)
+
+    @property
+    def is_instant(self) -> bool:
+        return self.t1_ns == self.t0_ns
+
+
+class _SpanContext:
+    """Context manager that times one span and commits it on exit."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self.span
+        span.t1_ns = time.perf_counter_ns()
+        if exc_type is not None:
+            span.error = True
+        self._tracer._commit(span)
+        return False  # never swallow exceptions
+
+
+class Tracer:
+    """Process-local span recorder with a bounded ring buffer."""
+
+    enabled = True
+
+    def __init__(self, rank: int = 0, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self.rank = rank
+        self.capacity = capacity
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def _commit(self, span: Span) -> None:
+        if len(self._spans) == self.capacity:
+            self.dropped += 1
+        self._spans.append(span)
+
+    def span(
+        self,
+        name: str,
+        kind: str = KIND_SEARCH,
+        category: str = "",
+        nbytes: int = 0,
+        **attrs: Any,
+    ) -> _SpanContext:
+        """Open a timed span; use as ``with tracer.span(...) as s:``.
+
+        The span is committed (with its end timestamp, and ``error=True``
+        if an exception unwound through it) when the ``with`` block exits.
+        """
+        return _SpanContext(
+            self,
+            Span(
+                name=name,
+                kind=kind,
+                rank=self.rank,
+                t0_ns=time.perf_counter_ns(),
+                category=category,
+                nbytes=nbytes,
+                attrs=attrs,
+            ),
+        )
+
+    def instant(
+        self,
+        name: str,
+        kind: str = KIND_RECOVERY,
+        category: str = "",
+        **attrs: Any,
+    ) -> None:
+        """Record a zero-duration marker event (e.g. ``rank_failure``)."""
+        now = time.perf_counter_ns()
+        self._commit(
+            Span(
+                name=name,
+                kind=kind,
+                rank=self.rank,
+                t0_ns=now,
+                t1_ns=now,
+                category=category,
+                attrs=attrs,
+            )
+        )
+
+    def spans(self) -> list[Span]:
+        """Committed spans, oldest first."""
+        return list(self._spans)
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+class _NullContext:
+    """Shared no-op context manager handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+    span = None
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullTracer:
+    """Tracing disabled: every call is a no-op.
+
+    ``span()`` returns one shared context manager instance, so entering a
+    disabled span performs no allocation and reads no clock — the engines
+    can keep their instrumentation unconditional.
+    """
+
+    enabled = False
+    rank = -1
+    dropped = 0
+
+    def span(self, name: str, kind: str = "", category: str = "",
+             nbytes: int = 0, **attrs: Any) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def instant(self, name: str, kind: str = "", category: str = "",
+                **attrs: Any) -> None:
+        return None
+
+    def spans(self) -> list[Span]:
+        return []
+
+    def clear(self) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The shared disabled tracer.
+NULL_TRACER = NullTracer()

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.errors import SearchError
 from repro.likelihood.optimize_branch import smooth_all_branches
 from repro.likelihood.optimize_model import optimize_model
+from repro.obs.tracer import NULL_TRACER
 from repro.search.spr import SPRStats, spr_round
 
 __all__ = ["SearchConfig", "SearchResult", "hill_climb"]
@@ -84,6 +85,12 @@ def hill_climb(backend, config: SearchConfig | None = None) -> SearchResult:
     """
     config = config or SearchConfig()
     tree = backend.tree
+    # Search-phase spans: backends built by a tracing launcher carry a
+    # tracer; everything else gets the zero-cost null tracer.  (Explicit
+    # None check: a span-less Tracer is empty, hence falsy.)
+    tracer = getattr(backend, "tracer", None)
+    if tracer is None:
+        tracer = NULL_TRACER
 
     def maybe_checkpoint(iteration: int, radius: int, logl: float) -> None:
         # Periodic checkpointing (RAxML-Light's headline feature): only
@@ -108,18 +115,20 @@ def hill_climb(backend, config: SearchConfig | None = None) -> SearchResult:
 
     u, v = anchor()
 
-    smooth_all_branches(backend, passes=max(2, config.branch_passes))
+    with tracer.span("initial_smooth", kind="search"):
+        smooth_all_branches(backend, passes=max(2, config.branch_passes))
     logl, _ = backend.evaluate(u, v)
     if config.model_opt:
-        logl = optimize_model(
-            backend,
-            u,
-            v,
-            alpha_iterations=config.alpha_iterations,
-            gtr_iterations=config.gtr_iterations,
-            psr_candidates=config.psr_candidates,
-            optimize_rates=config.optimize_gtr,
-        )
+        with tracer.span("model_opt", kind="search", iteration=0):
+            logl = optimize_model(
+                backend,
+                u,
+                v,
+                alpha_iterations=config.alpha_iterations,
+                gtr_iterations=config.gtr_iterations,
+                psr_candidates=config.psr_candidates,
+                optimize_rates=config.optimize_gtr,
+            )
 
     trace = [logl]
     radius = config.radius_min
@@ -129,29 +138,35 @@ def hill_climb(backend, config: SearchConfig | None = None) -> SearchResult:
     iterations = 0
 
     for iterations in range(1, config.max_iterations + 1):
-        stats: SPRStats = spr_round(
-            backend,
-            radius,
-            logl,
-            accept_epsilon=config.accept_epsilon,
-            lazy_newton_iters=config.lazy_newton_iters,
-        )
+        with tracer.span("spr_round", kind="search", iteration=iterations,
+                         radius=radius):
+            stats: SPRStats = spr_round(
+                backend,
+                radius,
+                logl,
+                accept_epsilon=config.accept_epsilon,
+                lazy_newton_iters=config.lazy_newton_iters,
+            )
         moves_total += stats.moves_accepted
         insertions_total += stats.insertions_tried
 
-        smooth_all_branches(backend, passes=config.branch_passes)
+        with tracer.span("smooth_branches", kind="search",
+                         iteration=iterations):
+            smooth_all_branches(backend, passes=config.branch_passes)
         u, v = anchor()
         new_logl, _ = backend.evaluate(u, v)
         if config.model_opt:
-            new_logl = optimize_model(
-                backend,
-                u,
-                v,
-                alpha_iterations=config.alpha_iterations,
-                gtr_iterations=config.gtr_iterations,
-                psr_candidates=config.psr_candidates,
-                optimize_rates=config.optimize_gtr,
-            )
+            with tracer.span("model_opt", kind="search",
+                             iteration=iterations):
+                new_logl = optimize_model(
+                    backend,
+                    u,
+                    v,
+                    alpha_iterations=config.alpha_iterations,
+                    gtr_iterations=config.gtr_iterations,
+                    psr_candidates=config.psr_candidates,
+                    optimize_rates=config.optimize_gtr,
+                )
         improvement = new_logl - logl
         logl = max(logl, new_logl)
         trace.append(logl)

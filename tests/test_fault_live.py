@@ -158,6 +158,81 @@ class TestForkJoinContrast:
                          max_restarts=0)
 
 
+class TestTracingUnderFailure:
+    """Observability across a failure: the collective a RankFailureError
+    unwinds through closes as an error-flagged span, and every recovery
+    step (detect → agree → shrink → redistribute → resume) is an explicit
+    trace event, so the merged timeline shows the whole pipeline."""
+
+    @pytest.fixture(scope="class")
+    def traced_recovery(self, setup, tmp_path_factory):
+        from repro.obs.export import read_jsonl
+
+        parts, taxa, newick = setup
+        trace_dir = tmp_path_factory.mktemp("fault_trace")
+        plan = FaultPlan.kill(rank=2, at_call=25)
+        rec = run_decentralized(parts, taxa, newick, n_ranks=4,
+                                config=QUICK, fault_plan=plan,
+                                detect_timeout=20.0, trace_dir=trace_dir)
+        survivors = [r for r in rec if r is not None]
+        spans = {r.trace_path: read_jsonl(r.trace_path) for r in survivors}
+        return survivors, spans
+
+    def test_error_flagged_comm_span_on_every_survivor(
+            self, traced_recovery):
+        survivors, spans = traced_recovery
+        assert len(survivors) == 3
+        for r in survivors:
+            errors = [s for s in spans[r.trace_path]
+                      if s["kind"] == "comm" and s.get("error")]
+            assert errors, r.trace_path
+            # the aborted collective still carries its Table-I tag
+            assert all(s.get("category") for s in errors)
+
+    def test_recovery_pipeline_traced_in_order(self, traced_recovery):
+        survivors, spans = traced_recovery
+        pipeline = ["rank_failure", "agree", "shrink", "redistribute",
+                    "resume"]
+        for r in survivors:
+            recovery = [s["name"] for s in spans[r.trace_path]
+                        if s["kind"] == "recovery"]
+            order = [recovery.index(n) for n in pipeline]
+            assert order == sorted(order), recovery
+            assert "recover" in recovery  # the enclosing timed span
+
+    def test_recovery_event_attributes(self, traced_recovery):
+        _, spans = traced_recovery
+        for stream in spans.values():
+            by_name = {s["name"]: s for s in stream
+                       if s["kind"] == "recovery"}
+            assert by_name["rank_failure"]["attrs"]["failed"] == [2]
+            assert by_name["agree"]["attrs"]["agreed"] == [2]
+            assert by_name["shrink"]["attrs"]["failed_world"] == [2]
+            assert by_name["shrink"]["attrs"]["new_size"] == 3
+            assert by_name["redistribute"]["attrs"]["survivors"] == 3
+
+    def test_failure_and_recovery_counted(self, traced_recovery):
+        survivors, _ = traced_recovery
+        for r in survivors:
+            counters = r.metrics["counters"]
+            assert counters["comm.failures.detected"] >= 1
+            assert counters["recovery.rounds"] == 1
+            assert counters["recovery.agree_rounds"] == 1
+            assert counters["recovery.shrinks"] == 1
+            assert r.metrics["gauges"]["comm.size"] == 3
+
+    def test_streams_named_by_original_world_rank(self, traced_recovery):
+        # the shrink renumbers ranks, but trace files keep the original
+        # world numbering so streams never collide; the killed rank
+        # (os._exit, no flush) leaves no stream
+        from pathlib import Path
+
+        survivors, _ = traced_recovery
+        names = sorted(Path(r.trace_path).name for r in survivors)
+        assert names == ["trace-rank0.jsonl", "trace-rank1.jsonl",
+                         "trace-rank3.jsonl"]
+
+
 # ---------------------------------------------------------------------- #
 # communicator-level machinery, exercised directly
 # ---------------------------------------------------------------------- #

@@ -19,8 +19,13 @@ from repro.engines.forkjoin import (
     CAT_TRAVERSAL,
     ForkJoinCommModel,
 )
-from repro.engines.launch import run_forkjoin
+from repro.engines.launch import run_decentralized, run_forkjoin
 from repro.engines.recording import RecordingBackend
+from repro.obs.reconcile import (
+    DECENTRALIZED_REL_TOL,
+    FORKJOIN_REL_TOL,
+    reconcile_live_run,
+)
 from repro.search.search import SearchConfig, hill_climb
 from repro.tree.newick import write_newick
 
@@ -76,3 +81,66 @@ class TestModelAgainstWire:
         )
         share_model = modeled[CAT_TRAVERSAL] / sum(modeled.values())
         assert abs(share_real - share_model) < 0.35
+
+
+class TestDecentralizedReconciliation:
+    """The strong version of the cross-validation, via ``obs.reconcile``:
+    every decentralized collective is an allreduce of a flat float64
+    array whose size the model knows, so a *non-root* rank's measured
+    bytes must match the :class:`DecentralizedCommModel` **exactly**
+    (MPComm composes allreduce = reduce + bcast and only the root
+    additionally accounts the broadcast result)."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        wl = partitioned_workload(4, n_taxa=8, sites_per_partition=30)
+        lik = wl.build_likelihood("gamma")
+        newick = write_newick(wl.tree)
+        cfg = SearchConfig(max_iterations=1, radius_max=2,
+                           alpha_iterations=6)
+        replicas = run_decentralized(lik.parts, lik.taxa, newick,
+                                     n_ranks=2, config=cfg)
+        measured = replicas[1]  # non-root: exactly one payload/allreduce
+        return reconcile_live_run(
+            lik.parts, lik.taxa, newick, cfg, "decentralized",
+            measured.bytes_by_tag,
+            measured_calls_by_tag=measured.calls_by_tag,
+            measured_rank=1,
+        )
+
+    def test_exact_byte_match(self, report):
+        assert report.within(DECENTRALIZED_REL_TOL)
+        for row in report.rows:
+            assert row.delta == 0.0, row
+        assert report.measured_total == report.modeled_total > 0
+
+    def test_call_counts_match(self, report):
+        for row in report.rows:
+            assert row.measured_calls == row.modeled_calls, row
+
+    def test_nothing_unmodeled(self, report):
+        assert report.unmodeled == {}
+
+    def test_report_names_the_measured_rank(self, report):
+        assert report.measured_rank == 1
+        assert "(rank 1)" in report.format_table()
+
+
+class TestForkJoinReconciliation:
+    """Same API on the fork-join engine: framed tuples on the wire, so
+    the match is within the documented tolerance, not exact."""
+
+    def test_within_documented_tolerance(self, measured_and_modeled):
+        real, _ = measured_and_modeled
+        wl = partitioned_workload(4, n_taxa=8, sites_per_partition=30)
+        lik = wl.build_likelihood("gamma")
+        cfg = SearchConfig(max_iterations=1, radius_max=2,
+                           alpha_iterations=6)
+        report = reconcile_live_run(
+            lik.parts, lik.taxa, write_newick(wl.tree), cfg, "forkjoin",
+            real, measured_rank=0,
+        )
+        assert report.within(FORKJOIN_REL_TOL)
+        assert report.worst_rel_error > 0  # genuinely inexact: framing
+        # the unpriced STOP broadcast surfaces instead of vanishing
+        assert "control" in report.unmodeled
