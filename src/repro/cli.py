@@ -13,7 +13,14 @@ Commands mirror the RAxML-Light/ExaML workflow the paper describes:
 * ``profile``  — run the engines live on real processes with span tracing
   on, export per-rank JSONL + a merged Chrome/Perfetto trace, and
   reconcile measured collective bytes against the analytic comm models
-  (``--trace-out``, ``--trace-format``, ``--reconcile``).
+  (``--trace-out``, ``--trace-format``, ``--reconcile``, ``--summary``);
+* ``scale``    — measured scaling: run both engines live across rank
+  counts and data distributions, attribute traced spans into busy/wait
+  time, and emit speedup/efficiency tables (``BENCH_scaling.json`` + a
+  markdown report) alongside the analytic model's predicted ordering;
+* ``regress``  — gate a ``BENCH_*.json`` record against prior baselines
+  (median comparison with noise-tolerant thresholds; report-only until
+  enough baselines exist).
 """
 
 from __future__ import annotations
@@ -321,12 +328,28 @@ def _cmd_profile(args: argparse.Namespace) -> int:
               + (f" -> {chrome_path}" if chrome_path else ""),
               file=sys.stderr)
 
+        from repro.obs.analyze import attribute_wait
+
+        analysis = attribute_wait(merged)
+        if analysis.dropped_spans:
+            print(f"WARNING [{engine}]: {analysis.dropped_spans} span(s) "
+                  f"dropped by the tracer ring buffer — the trace is "
+                  f"truncated and per-rank shares are unreliable; raise "
+                  f"the capacity (trace_capacity) or shorten the run",
+                  file=sys.stderr)
+        if args.summary:
+            print(f"[{engine}] per-rank attribution:")
+            print(analysis.format_table())
+
         entry: dict = {
             "wall_s": wall_s,
             "logl": res.logl,
             "bytes_by_tag": dict(res.bytes_by_tag),
             "n_spans": len(merged),
             "trace_dir": str(trace_dir),
+            "wait_share": analysis.wait_share,
+            "imbalance": analysis.imbalance,
+            "dropped_spans": analysis.dropped_spans,
         }
         if args.reconcile:
             report = reconcile_live_run(
@@ -350,6 +373,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             entry["within_tolerance"] = within
         bench["engines"][engine] = entry
 
+    # flat higher-is-worse metrics for `repro regress`
+    bench["metrics"] = {
+        f"profile.{engine}.{key}": entry[key]
+        for engine, entry in bench["engines"].items()
+        for key in ("wall_s", "wait_share", "imbalance")
+    }
     if args.bench_out:
         import json
 
@@ -360,6 +389,121 @@ def _cmd_profile(args: argparse.Namespace) -> int:
               "comm model beyond tolerance", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    """Measured scaling: live runs across rank counts, analyzed + gated."""
+    import json
+
+    from repro.likelihood.partitioned import PartitionedLikelihood
+    from repro.obs.scaling import run_scaling
+    from repro.search.search import SearchConfig
+    from repro.seq.partitions import read_partition_file
+    from repro.tree.newick import write_newick
+    from repro.tree.random_trees import random_topology
+
+    alignment = _load_alignment(args.alignment)
+    scheme = read_partition_file(args.partitions) if args.partitions else None
+    tree = random_topology(alignment.taxa, rng=args.seed)
+    newick = write_newick(tree)
+    config = SearchConfig(max_iterations=args.iterations,
+                          radius_max=args.radius)
+    engines = (["decentralized", "forkjoin"] if args.engine == "both"
+               else [args.engine])
+
+    def build_likelihood() -> PartitionedLikelihood:
+        # fresh per configuration: the search mutates model state
+        return PartitionedLikelihood.build(
+            alignment, tree, scheme=scheme, rate_mode=args.model,
+            per_partition_branches=args.per_partition_branches,
+        )
+
+    result = run_scaling(
+        build_likelihood, newick, config,
+        engines=engines,
+        ranks_list=args.ranks,
+        dist_kinds=args.dist,
+        trace_root=args.trace_out,
+        trace_capacity=args.trace_capacity,
+        predict=not args.no_predict,
+        workload_info={
+            "alignment": str(args.alignment),
+            "taxa": alignment.n_taxa,
+            "sites": alignment.n_sites,
+            "partitions": len(scheme) if scheme else 1,
+            "model": args.model,
+        },
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+
+    report_md = result.format_markdown()
+    if args.report_out:
+        Path(args.report_out).write_text(report_md + "\n")
+        print(f"markdown report written to {args.report_out}",
+              file=sys.stderr)
+    else:
+        print(report_md)
+    if args.bench_out:
+        Path(args.bench_out).write_text(
+            json.dumps(result.to_bench(), indent=2) + "\n")
+        print(f"bench record written to {args.bench_out}", file=sys.stderr)
+
+    dropped = sum(p.dropped_spans for p in result.points)
+    if dropped:
+        print(f"WARNING: {dropped} span(s) dropped across runs — raise "
+              f"--trace-capacity", file=sys.stderr)
+    disagreements = [
+        (dist, n) for dist, per_ranks in result.agreement.items()
+        for n, ok in per_ranks.items() if not ok and int(n) > 1
+    ]
+    if disagreements:
+        print(f"note: measured comm-heavier engine disagrees with the "
+              f"model at {disagreements}", file=sys.stderr)
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    """Gate a bench record against prior baselines."""
+    import glob
+    import json
+
+    from repro.obs.regress import (
+        DEFAULT_ABS_FLOOR,
+        DEFAULT_MIN_BASELINES,
+        DEFAULT_THRESHOLD,
+        compare_to_baselines,
+        load_baselines,
+    )
+
+    current = json.loads(Path(args.current).read_text())
+    paths: list[str] = []
+    for pattern in args.baselines:
+        hits = sorted(glob.glob(pattern))
+        paths.extend(hits if hits else
+                     ([pattern] if Path(pattern).exists() else []))
+    # never gate a record against itself
+    cur_path = Path(args.current).resolve()
+    paths = [p for p in paths if Path(p).resolve() != cur_path]
+    baselines = load_baselines(paths)
+
+    report = compare_to_baselines(
+        current, baselines,
+        threshold=(args.threshold if args.threshold is not None
+                   else DEFAULT_THRESHOLD),
+        abs_floor=(args.abs_floor if args.abs_floor is not None
+                   else DEFAULT_ABS_FLOOR),
+        min_baselines=(args.min_baselines if args.min_baselines is not None
+                       else DEFAULT_MIN_BASELINES),
+    )
+    if args.report_only:
+        report.enforced = False
+    print(report.format_table())
+    if args.gate_out:
+        Path(args.gate_out).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n")
+    if report.failed:
+        print("performance regression detected", file=sys.stderr)
+    return report.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -486,7 +630,75 @@ def build_parser() -> argparse.ArgumentParser:
                            "documented framing tolerance for fork-join)")
     prof.add_argument("--bench-out", metavar="PATH",
                       help="write a JSON bench record here")
+    prof.add_argument("--summary", action="store_true",
+                      help="print a per-rank attribution table (calls, "
+                           "bytes, compute/wait/transfer shares) instead "
+                           "of requiring the Chrome trace viewer")
     prof.set_defaults(func=_cmd_profile)
+
+    scale = sub.add_parser(
+        "scale",
+        help="measured scaling: live runs across rank counts with "
+             "busy/wait attribution, speedup/efficiency tables and a "
+             "model-ordering check")
+    scale.add_argument("alignment", help="FASTA/PHYLIP/binary alignment")
+    scale.add_argument("-q", "--partitions",
+                       help="RAxML-style partition file")
+    scale.add_argument("-m", "--model", choices=["gamma", "psr", "none"],
+                       default="gamma")
+    scale.add_argument("-M", dest="per_partition_branches",
+                       action="store_true")
+    scale.add_argument("-n", "--iterations", type=int, default=1)
+    scale.add_argument("-r", "--radius", type=int, default=2)
+    scale.add_argument("-s", "--seed", type=int, default=42)
+    scale.add_argument("--engine",
+                       choices=["decentralized", "forkjoin", "both"],
+                       default="both")
+    scale.add_argument("--ranks", type=int, nargs="+", default=[1, 2, 4],
+                       help="rank counts to measure (default 1 2 4); "
+                            "speedup is relative to the smallest")
+    scale.add_argument("--dist", choices=["cyclic", "mps"], nargs="+",
+                       default=["cyclic"],
+                       help="data distribution(s) to measure")
+    scale.add_argument("--trace-out", default="trace_scale", metavar="DIR",
+                       help="trace directory root (one subdir per "
+                            "configuration; default ./trace_scale)")
+    scale.add_argument("--trace-capacity", type=int, default=None,
+                       help="per-rank span ring-buffer capacity")
+    scale.add_argument("--no-predict", action="store_true",
+                       help="skip the analytic-model prediction columns")
+    scale.add_argument("--bench-out", metavar="PATH",
+                       help="write BENCH_scaling.json here")
+    scale.add_argument("--report-out", metavar="PATH",
+                       help="write the markdown report here (default: "
+                            "print to stdout)")
+    scale.set_defaults(func=_cmd_scale)
+
+    regress = sub.add_parser(
+        "regress",
+        help="gate a BENCH_*.json record against prior baselines "
+             "(median comparison, noise-tolerant; report-only until "
+             "enough baselines exist)")
+    regress.add_argument("current", help="bench record to gate")
+    regress.add_argument("--baselines", nargs="+", default=[],
+                         metavar="PATH_OR_GLOB",
+                         help="baseline records (globs allowed; quote "
+                              "them so CI shells don't expand empty "
+                              "globs to errors)")
+    regress.add_argument("--threshold", type=float, default=None,
+                         help="max allowed current/median ratio "
+                              "(default 1.3)")
+    regress.add_argument("--abs-floor", type=float, default=None,
+                         help="minimum absolute worsening to count "
+                              "(default 0.05)")
+    regress.add_argument("--min-baselines", type=int, default=None,
+                         help="baselines required before the gate "
+                              "enforces (default 2)")
+    regress.add_argument("--report-only", action="store_true",
+                         help="always exit 0, just print the comparison")
+    regress.add_argument("--gate-out", metavar="PATH",
+                         help="write the gate report as JSON here")
+    regress.set_defaults(func=_cmd_regress)
     return parser
 
 

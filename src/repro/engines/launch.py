@@ -117,13 +117,26 @@ def _wrap_tracing(comm: Comm, tracer, metrics) -> Comm:
 def _flush_trace(tracer, payload: dict[str, Any],
                  world_rank: int) -> str | None:
     """Write this rank's span stream to ``trace_dir``; rank files are
-    keyed by *original* world rank so shrinks don't collide names."""
+    keyed by *original* world rank so shrinks don't collide names.
+
+    A ring-buffer overflow is recorded *in the stream itself* as a
+    trailing ``trace_truncated`` meta record, so any later analysis of
+    the merged trace can warn that this rank's early spans are missing
+    instead of silently under-attributing its time."""
     if not tracer.enabled:
         return None
-    from repro.obs.export import rank_trace_path, write_jsonl
+    from repro.obs.export import rank_trace_path, span_to_dict, write_jsonl
 
+    records = [span_to_dict(s) for s in tracer.spans()]
+    if tracer.dropped:
+        t_ns = records[-1]["t1_ns"] if records else 0
+        records.append({
+            "name": "trace_truncated", "kind": "meta", "rank": world_rank,
+            "t0_ns": t_ns, "t1_ns": t_ns,
+            "attrs": {"dropped_spans": int(tracer.dropped)},
+        })
     path = rank_trace_path(payload["trace_dir"], world_rank)
-    write_jsonl(tracer.spans(), path)
+    write_jsonl(records, path)
     return str(path)
 
 
@@ -131,7 +144,7 @@ def _obs_snapshot(metrics, tracer) -> dict[str, Any]:
     if metrics is None:
         return {}
     metrics.gauge("trace.spans").set(len(tracer))
-    metrics.gauge("trace.dropped").set(tracer.dropped)
+    metrics.gauge("trace.dropped_spans").set(tracer.dropped)
     return metrics.snapshot()
 
 

@@ -12,19 +12,38 @@ multiprocess runs and closes the loop:
   :class:`TracedExecutor` wrappers that instrument any communicator and
   the lock-step worker kernel without touching semantics;
 * :mod:`repro.obs.export` — per-rank JSONL streams, cross-rank merging,
-  Chrome-trace/Perfetto JSON;
+  Chrome-trace/Perfetto JSON, Prometheus text exposition;
 * :mod:`repro.obs.reconcile` — measured-vs-modeled byte reconciliation
-  per Table-I category.
+  per Table-I category;
+* :mod:`repro.obs.analyze` — wait-time attribution, critical-path and
+  load-imbalance analysis over merged traces;
+* :mod:`repro.obs.scaling` — the measured scaling harness behind
+  ``repro scale``;
+* :mod:`repro.obs.regress` — performance regression gating over
+  ``BENCH_*.json`` records.
 
-See ``docs/OBSERVABILITY.md`` for the workflow, and ``repro profile`` on
-the CLI for the one-command version.
+See ``docs/OBSERVABILITY.md`` for the workflow, and ``repro profile`` /
+``repro scale`` / ``repro regress`` on the CLI for the one-command
+versions.
 """
 
+from repro.obs.analyze import (
+    CriticalPath,
+    CriticalPathStep,
+    RankBreakdown,
+    TraceAnalysis,
+    analyze_trace,
+    attribute_wait,
+    critical_path,
+    load_imbalance,
+    match_collectives,
+)
 from repro.obs.export import (
     chrome_trace,
     merge_rank_streams,
     rank_trace_path,
     read_jsonl,
+    snapshot_to_prom,
     write_chrome_trace,
     write_jsonl,
 )
@@ -45,9 +64,35 @@ from repro.obs.reconcile import (
     reconcile,
     reconcile_live_run,
 )
+from repro.obs.regress import (
+    GateReport,
+    GateRow,
+    bench_metrics,
+    compare_to_baselines,
+    load_baselines,
+)
+from repro.obs.scaling import ScalePoint, ScalingResult, run_scaling
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "TraceAnalysis",
+    "RankBreakdown",
+    "CriticalPath",
+    "CriticalPathStep",
+    "analyze_trace",
+    "attribute_wait",
+    "critical_path",
+    "load_imbalance",
+    "match_collectives",
+    "snapshot_to_prom",
+    "GateReport",
+    "GateRow",
+    "bench_metrics",
+    "compare_to_baselines",
+    "load_baselines",
+    "ScalePoint",
+    "ScalingResult",
+    "run_scaling",
     "Span",
     "Tracer",
     "NullTracer",

@@ -1,0 +1,696 @@
+"""Trace analytics: wait-time attribution, critical path, load imbalance.
+
+:mod:`repro.obs.export` merges per-rank span streams into one cross-rank
+timeline; this module turns that timeline into the paper's *time* story
+(PR 2 closed the *bytes* loop):
+
+* **wait-time attribution** — decompose each rank's traced window into
+  compute / collective-wait / transfer / recovery.  All ranks share a
+  monotonic timebase, so the wait a rank spends inside a collective is
+  inferred from span starts alone: match the i-th collective of each
+  name across ranks, take the *last* arrival as the moment the
+  collective could complete, and charge each earlier rank the gap
+  between its own arrival and that last arrival.  Waits are reported
+  per Table-I tag and per search phase (the ``search`` spans emitted by
+  :func:`~repro.search.search.hill_climb`).
+* **critical-path analysis** — the chain of spans that bounds wall
+  time.  Walking backwards from the last span to finish: inside a rank
+  the predecessor is the previous activity on that rank; at a matched
+  collective the path jumps to the rank that arrived *last* (the
+  straggler whose compute bounded everyone).  Waits are therefore never
+  on the path — the straggler's compute is, which is exactly the
+  paper's argument for why fork-join is bound by master serial work +
+  collectives while the de-centralized scheme is bound by compute.
+* **load-imbalance index** — max/mean per-rank busy time (compute +
+  transfer, i.e. everything that is not inferred wait), the measured
+  form of the paper's monolithic-vs-cyclic distribution argument: a
+  monolithic (``mps``) placement of unequal partitions shows up here as
+  λ ≫ 1 and as wait time on the underloaded ranks.
+
+Inference caveats (documented, deliberate): collective completion is
+approximated by barrier semantics (bounded by the last arrival), which
+is exact for barrier/allreduce and a faithful upper bound for the
+fork-join bcast/reduce pairs where the master is the straggler; after a
+mid-run communicator shrink the per-name call sequences of survivors
+and casualties diverge, so attribution is most meaningful on
+failure-free runs (error-flagged spans are excluded from matching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.obs.tracer import Span
+
+__all__ = [
+    "RankBreakdown",
+    "TraceAnalysis",
+    "CriticalPathStep",
+    "CriticalPath",
+    "analyze_trace",
+    "attribute_wait",
+    "critical_path",
+    "load_imbalance",
+    "match_collectives",
+]
+
+#: Span kinds excluded from the rank timelines: ``search`` spans are
+#: phase *annotations* enclosing real work, ``meta`` records carry
+#: trace bookkeeping such as the ring-buffer truncation marker.
+_ANNOTATION_KINDS = frozenset({"search", "meta"})
+
+#: Tags that carry no information about *what* was communicated (the
+#: fork-join worker receives every command under ``command``); matched
+#: groups prefer any rank's more specific tag over these.
+_WEAK_TAGS = frozenset({"", "command", "generic", "control"})
+
+
+def _as_records(spans: Iterable[dict[str, Any] | Span]) -> list[dict[str, Any]]:
+    from repro.obs.export import span_to_dict
+
+    return [s if isinstance(s, dict) else span_to_dict(s) for s in spans]
+
+
+def _merge_intervals(intervals: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Union of half-open intervals, sorted and non-overlapping."""
+    out: list[tuple[int, int]] = []
+    for t0, t1 in sorted(i for i in intervals if i[1] > i[0]):
+        if out and t0 <= out[-1][1]:
+            if t1 > out[-1][1]:
+                out[-1] = (out[-1][0], t1)
+        else:
+            out.append((t0, t1))
+    return out
+
+
+def _subtract_intervals(
+    base: list[tuple[int, int]], holes: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """``base − holes``; both inputs must be merged/sorted."""
+    out: list[tuple[int, int]] = []
+    hi = 0
+    for b0, b1 in base:
+        cur = b0
+        while hi < len(holes) and holes[hi][1] <= cur:
+            hi += 1
+        j = hi
+        while j < len(holes) and holes[j][0] < b1:
+            h0, h1 = holes[j]
+            if h0 > cur:
+                out.append((cur, h0))
+            cur = max(cur, h1)
+            j += 1
+        if cur < b1:
+            out.append((cur, b1))
+    return out
+
+
+def _total(intervals: list[tuple[int, int]]) -> int:
+    return sum(t1 - t0 for t0, t1 in intervals)
+
+
+# ---------------------------------------------------------------------- #
+# collective matching
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class MatchedCollective:
+    """One collective call matched across the ranks that entered it."""
+
+    name: str
+    seq: int  # per-name sequence number (call order on each rank)
+    #: rank → span record of that rank's participation
+    members: dict[int, dict[str, Any]]
+    category: str = ""
+
+    @property
+    def last_arrival_ns(self) -> int:
+        return max(m["t0_ns"] for m in self.members.values())
+
+    @property
+    def straggler(self) -> int:
+        """The last-arriving rank — the one bounding the collective."""
+        return max(self.members, key=lambda r: self.members[r]["t0_ns"])
+
+    def wait_ns(self, rank: int) -> int:
+        """Inferred barrier wait of ``rank`` inside this collective."""
+        span = self.members[rank]
+        dur = max(0, span["t1_ns"] - span["t0_ns"])
+        return min(dur, max(0, self.last_arrival_ns - span["t0_ns"]))
+
+
+def match_collectives(
+    records: list[dict[str, Any]]
+) -> list[MatchedCollective]:
+    """Match the i-th collective of each *name* across ranks.
+
+    Both engines issue their collectives in a deterministic per-rank
+    order, and — crucially — in the *same* order on every rank (the
+    replica-consistency requirement), so pairing the i-th ``allreduce``
+    (``bcast``, ``reduce``, ``barrier``, …) of each rank reconstructs
+    the call-for-call grouping without any wire-level identifiers.
+    Matching deliberately ignores the tag: the fork-join master tags a
+    broadcast with its Table-I category while the workers receive it
+    under the generic ``command`` tag.
+
+    Error-flagged spans (a collective aborted by a rank failure) are
+    excluded: after a failure the survivors' sequences diverge from the
+    casualties' and positional matching would pair unrelated calls.
+
+    Only groups joined by ≥ 2 ranks are returned — a collective seen on
+    a single rank (trailing calls of a longer-lived rank) carries no
+    cross-rank wait information.
+    """
+    per_key: dict[tuple[str, int], MatchedCollective] = {}
+    counts: dict[tuple[int, str], int] = {}
+    for rec in records:
+        if rec.get("kind") != "comm" or rec.get("error"):
+            continue
+        rank, name = rec["rank"], rec["name"]
+        seq = counts.get((rank, name), 0)
+        counts[(rank, name)] = seq + 1
+        group = per_key.setdefault(
+            (name, seq), MatchedCollective(name=name, seq=seq, members={})
+        )
+        group.members[rank] = rec
+    groups = [g for g in per_key.values() if len(g.members) >= 2]
+    for g in groups:
+        tags = [m.get("category", "") for m in g.members.values()]
+        strong = [t for t in tags if t not in _WEAK_TAGS]
+        g.category = strong[0] if strong else (tags[0] or "generic")
+    groups.sort(key=lambda g: g.last_arrival_ns)
+    return groups
+
+
+# ---------------------------------------------------------------------- #
+# wait-time attribution
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class RankBreakdown:
+    """One rank's traced window decomposed into exclusive time classes.
+
+    All values are nanoseconds within the rank's active window (first
+    span start to last span end).  ``compute + wait + transfer +
+    recovery == active`` up to clamping of inferred waits.
+    """
+
+    rank: int
+    active_ns: int = 0
+    compute_ns: int = 0
+    comm_ns: int = 0  # union of comm spans = wait + transfer
+    wait_ns: int = 0
+    recovery_ns: int = 0
+    n_spans: int = 0
+    comm_calls: int = 0
+    comm_bytes: int = 0
+    dropped_spans: int = 0
+
+    @property
+    def transfer_ns(self) -> int:
+        return max(0, self.comm_ns - self.wait_ns)
+
+    @property
+    def busy_ns(self) -> int:
+        """Non-wait time: compute + transfer (recovery is overhead)."""
+        return self.compute_ns + self.transfer_ns
+
+    @property
+    def wait_share(self) -> float:
+        return self.wait_ns / self.active_ns if self.active_ns else 0.0
+
+    @property
+    def busy_share(self) -> float:
+        return self.busy_ns / self.active_ns if self.active_ns else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rank": self.rank,
+            "active_ns": self.active_ns,
+            "compute_ns": self.compute_ns,
+            "comm_ns": self.comm_ns,
+            "wait_ns": self.wait_ns,
+            "transfer_ns": self.transfer_ns,
+            "recovery_ns": self.recovery_ns,
+            "busy_ns": self.busy_ns,
+            "wait_share": self.wait_share,
+            "busy_share": self.busy_share,
+            "n_spans": self.n_spans,
+            "comm_calls": self.comm_calls,
+            "comm_bytes": self.comm_bytes,
+            "dropped_spans": self.dropped_spans,
+        }
+
+
+@dataclass
+class TraceAnalysis:
+    """Cross-rank attribution of one merged trace."""
+
+    ranks: dict[int, RankBreakdown]
+    window_ns: int
+    wait_by_tag: dict[str, int] = field(default_factory=dict)
+    comm_by_tag: dict[str, int] = field(default_factory=dict)
+    wait_by_phase: dict[str, int] = field(default_factory=dict)
+    comm_by_phase: dict[str, int] = field(default_factory=dict)
+    n_collectives: int = 0
+
+    @property
+    def total_active_ns(self) -> int:
+        return sum(r.active_ns for r in self.ranks.values())
+
+    @property
+    def total_wait_ns(self) -> int:
+        return sum(r.wait_ns for r in self.ranks.values())
+
+    @property
+    def wait_share(self) -> float:
+        """Collective-wait fraction of all ranks' active time — the
+        measured form of the paper's bandwidth-bound-vs-compute-bound
+        contrast between the two engines."""
+        active = self.total_active_ns
+        return self.total_wait_ns / active if active else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """Load-imbalance index λ = max/mean per-rank busy time."""
+        return load_imbalance(self.ranks)
+
+    @property
+    def dropped_spans(self) -> int:
+        return sum(r.dropped_spans for r in self.ranks.values())
+
+    def format_table(self) -> str:
+        """Human-readable per-rank decomposition (``--summary``)."""
+        header = (f"{'rank':>5}{'spans':>7}{'calls':>7}{'bytes':>11}"
+                  f"{'active ms':>11}{'compute %':>11}{'wait %':>8}"
+                  f"{'xfer %':>8}{'recov %':>9}")
+        lines = [header, "-" * len(header)]
+        for rank in sorted(self.ranks):
+            r = self.ranks[rank]
+            act = r.active_ns or 1
+            lines.append(
+                f"{rank:>5}{r.n_spans:>7}{r.comm_calls:>7}"
+                f"{r.comm_bytes:>11}{r.active_ns / 1e6:>11.2f}"
+                f"{100.0 * r.compute_ns / act:>11.1f}"
+                f"{100.0 * r.wait_ns / act:>8.1f}"
+                f"{100.0 * r.transfer_ns / act:>8.1f}"
+                f"{100.0 * r.recovery_ns / act:>9.1f}"
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            f"wall {self.window_ns / 1e6:.2f} ms over {len(self.ranks)} "
+            f"rank(s): wait share {100.0 * self.wait_share:.1f}%, "
+            f"imbalance λ = {self.imbalance:.3f}"
+        )
+        if self.wait_by_tag:
+            lines.append("collective wait by tag:")
+            for tag, ns in sorted(self.wait_by_tag.items(),
+                                  key=lambda kv: -kv[1]):
+                lines.append(f"  {tag:<42}{ns / 1e6:>10.2f} ms")
+        if self.wait_by_phase:
+            lines.append("collective wait by search phase:")
+            for phase, ns in sorted(self.wait_by_phase.items(),
+                                    key=lambda kv: -kv[1]):
+                lines.append(f"  {phase:<42}{ns / 1e6:>10.2f} ms")
+        if self.dropped_spans:
+            lines.append(
+                f"WARNING: {self.dropped_spans} span(s) dropped by the "
+                f"ring buffer — shares underestimate the truncated ranks"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "window_ns": self.window_ns,
+            "wait_share": self.wait_share,
+            "imbalance": self.imbalance,
+            "n_collectives": self.n_collectives,
+            "dropped_spans": self.dropped_spans,
+            "ranks": {str(k): v.to_dict() for k, v in sorted(self.ranks.items())},
+            "wait_by_tag": dict(self.wait_by_tag),
+            "comm_by_tag": dict(self.comm_by_tag),
+            "wait_by_phase": dict(self.wait_by_phase),
+            "comm_by_phase": dict(self.comm_by_phase),
+        }
+
+
+def _phase_lookup(records: list[dict[str, Any]]):
+    """rank → sorted search spans; innermost phase containing a time."""
+    by_rank: dict[int, list[dict[str, Any]]] = {}
+    for rec in records:
+        if rec.get("kind") == "search":
+            by_rank.setdefault(rec["rank"], []).append(rec)
+
+    def phase_of(rank: int, t_ns: int) -> str | None:
+        best: dict[str, Any] | None = None
+        for rec in by_rank.get(rank, ()):
+            if rec["t0_ns"] <= t_ns <= rec["t1_ns"]:
+                if best is None or (rec["t1_ns"] - rec["t0_ns"]
+                                    < best["t1_ns"] - best["t0_ns"]):
+                    best = rec
+        return best["name"] if best is not None else None
+
+    return phase_of
+
+
+def attribute_wait(
+    spans: Iterable[dict[str, Any] | Span]
+) -> TraceAnalysis:
+    """Decompose a merged trace into per-rank time classes.
+
+    Per rank, over its active window (first span start → last span end):
+
+    * ``comm``     — union of its collective spans,
+    * ``wait``     — the part of ``comm`` spent waiting for the last
+      rank to arrive (inferred from matched arrivals, clamped to the
+      span), with the remainder counted as ``transfer``,
+    * ``recovery`` — union of recovery spans minus any collectives
+      nested inside them (redistribution traffic counts as comm),
+    * ``compute``  — everything else: untraced gaps between spans,
+      which on these engines is the likelihood kernel work.
+    """
+    records = _as_records(spans)
+    timeline = [r for r in records if r.get("kind") not in _ANNOTATION_KINDS]
+    ranks: dict[int, RankBreakdown] = {}
+    if not records:
+        return TraceAnalysis(ranks={}, window_ns=0)
+
+    groups = match_collectives(records)
+    group_index: dict[tuple[str, int], MatchedCollective] = {
+        (g.name, g.seq): g for g in groups
+    }
+    wait_of: dict[tuple[int, str, int], int] = {}
+    for g in groups:
+        for rank in g.members:
+            wait_of[(rank, g.name, g.seq)] = g.wait_ns(rank)
+
+    phase_of = _phase_lookup(records)
+    by_rank: dict[int, list[dict[str, Any]]] = {}
+    for rec in timeline:
+        by_rank.setdefault(rec["rank"], []).append(rec)
+    dropped: dict[int, int] = {}
+    for rec in records:
+        if rec.get("kind") == "meta" and rec["name"] == "trace_truncated":
+            n = int(rec.get("attrs", {}).get("dropped_spans", 0))
+            dropped[rec["rank"]] = dropped.get(rec["rank"], 0) + n
+
+    wait_by_tag: dict[str, int] = {}
+    comm_by_tag: dict[str, int] = {}
+    wait_by_phase: dict[str, int] = {}
+    comm_by_phase: dict[str, int] = {}
+    seq_counts: dict[tuple[int, str], int] = {}
+
+    lo = min(r["t0_ns"] for r in timeline) if timeline else 0
+    hi = max(r["t1_ns"] for r in timeline) if timeline else 0
+
+    for rank, recs in sorted(by_rank.items()):
+        b = RankBreakdown(rank=rank, n_spans=len(recs))
+        t_first = min(r["t0_ns"] for r in recs)
+        t_last = max(r["t1_ns"] for r in recs)
+        b.active_ns = t_last - t_first
+        comm_iv: list[tuple[int, int]] = []
+        recov_iv: list[tuple[int, int]] = []
+        for rec in sorted(recs, key=lambda r: r["t0_ns"]):
+            kind = rec.get("kind")
+            if kind == "comm":
+                comm_iv.append((rec["t0_ns"], rec["t1_ns"]))
+                b.comm_calls += 1
+                b.comm_bytes += int(rec.get("nbytes", 0))
+                name = rec["name"]
+                seq = seq_counts.get((rank, name), 0)
+                if not rec.get("error"):
+                    seq_counts[(rank, name)] = seq + 1
+                wait = wait_of.get((rank, name, seq), 0)
+                b.wait_ns += wait
+                group = group_index.get((name, seq))
+                if group is not None and rank not in group.members:
+                    group = None
+                tag = (group.category if group is not None
+                       else rec.get("category", "") or "generic")
+                dur = max(0, rec["t1_ns"] - rec["t0_ns"])
+                wait_by_tag[tag] = wait_by_tag.get(tag, 0) + wait
+                comm_by_tag[tag] = comm_by_tag.get(tag, 0) + dur
+                # phase: this rank's enclosing search span, else (if the
+                # rank runs no search — a fork-join worker) the phase of
+                # any matched rank that does (the master's).
+                phase = phase_of(rank, rec["t0_ns"])
+                if phase is None and group is not None:
+                    for other, orec in sorted(group.members.items()):
+                        phase = phase_of(other, orec["t0_ns"])
+                        if phase is not None:
+                            break
+                phase = phase or "(no phase)"
+                wait_by_phase[phase] = wait_by_phase.get(phase, 0) + wait
+                comm_by_phase[phase] = comm_by_phase.get(phase, 0) + dur
+            elif kind == "recovery":
+                recov_iv.append((rec["t0_ns"], rec["t1_ns"]))
+        comm_u = _merge_intervals(comm_iv)
+        recov_u = _subtract_intervals(_merge_intervals(recov_iv), comm_u)
+        b.comm_ns = _total(comm_u)
+        b.recovery_ns = _total(recov_u)
+        b.wait_ns = min(b.wait_ns, b.comm_ns)
+        b.compute_ns = max(0, b.active_ns - b.comm_ns - b.recovery_ns)
+        b.dropped_spans = dropped.get(rank, 0)
+        ranks[rank] = b
+
+    for rank in dropped:  # truncated rank with no surviving spans
+        if rank not in ranks:
+            ranks[rank] = RankBreakdown(rank=rank,
+                                        dropped_spans=dropped[rank])
+
+    return TraceAnalysis(
+        ranks=ranks,
+        window_ns=max(0, hi - lo),
+        wait_by_tag=wait_by_tag,
+        comm_by_tag=comm_by_tag,
+        wait_by_phase=wait_by_phase,
+        comm_by_phase=comm_by_phase,
+        n_collectives=len(groups),
+    )
+
+
+def load_imbalance(ranks: dict[int, RankBreakdown]) -> float:
+    """λ = max/mean busy time; 1.0 is perfect balance.
+
+    Under a cyclic (fine-grained) distribution every rank owns a near
+    equal slice of every partition and λ ≈ 1; a monolithic placement of
+    unequal partitions starves some ranks, which shows up both here and
+    as wait time on the underloaded ranks (they arrive early at every
+    collective).
+    """
+    busy = [r.busy_ns for r in ranks.values()]
+    if not busy or sum(busy) == 0:
+        return 1.0
+    mean = sum(busy) / len(busy)
+    return max(busy) / mean if mean else 1.0
+
+
+# ---------------------------------------------------------------------- #
+# critical path
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CriticalPathStep:
+    """One segment of the chain that bounds wall time."""
+
+    rank: int
+    name: str
+    kind: str  # comm | kernel | recovery | compute
+    t0_ns: int
+    t1_ns: int
+
+    @property
+    def duration_ns(self) -> int:
+        return max(0, self.t1_ns - self.t0_ns)
+
+
+@dataclass
+class CriticalPath:
+    """Backwards-reconstructed bounding chain of a merged trace."""
+
+    steps: list[CriticalPathStep]  # chronological order
+    window_ns: int
+
+    @property
+    def length_ns(self) -> int:
+        return sum(s.duration_ns for s in self.steps)
+
+    def contribution_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for s in self.steps:
+            out[s.kind] = out.get(s.kind, 0) + s.duration_ns
+        return out
+
+    def contribution_shares(self) -> dict[str, float]:
+        total = self.length_ns
+        if not total:
+            return {}
+        return {k: v / total
+                for k, v in self.contribution_by_kind().items()}
+
+    @property
+    def rank_switches(self) -> int:
+        return sum(1 for a, b in zip(self.steps, self.steps[1:])
+                   if a.rank != b.rank)
+
+    def format_summary(self, top: int = 8) -> str:
+        shares = sorted(self.contribution_shares().items(),
+                        key=lambda kv: -kv[1])
+        lines = [
+            f"critical path: {self.length_ns / 1e6:.2f} ms over "
+            f"{len(self.steps)} segment(s), {self.rank_switches} rank "
+            f"switch(es)"
+        ]
+        for kind, share in shares:
+            lines.append(f"  {kind:<10}{100.0 * share:>7.1f} %")
+        heavy = sorted(self.steps, key=lambda s: -s.duration_ns)[:top]
+        lines.append(f"heaviest segments (top {len(heavy)}):")
+        for s in heavy:
+            lines.append(
+                f"  rank {s.rank} {s.kind:<9}{s.name:<24}"
+                f"{s.duration_ns / 1e6:>9.2f} ms"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "window_ns": self.window_ns,
+            "length_ns": self.length_ns,
+            "rank_switches": self.rank_switches,
+            "contribution_ns": self.contribution_by_kind(),
+            "contribution_shares": self.contribution_shares(),
+            "steps": [
+                {"rank": s.rank, "name": s.name, "kind": s.kind,
+                 "t0_ns": s.t0_ns, "t1_ns": s.t1_ns}
+                for s in self.steps
+            ],
+        }
+
+
+def _leaf_segments(records: list[dict[str, Any]]) -> dict[int, list[dict]]:
+    """Per rank: innermost comm/kernel/recovery spans plus synthetic
+    ``compute`` gap segments, sorted, covering the rank's active window."""
+    by_rank: dict[int, list[dict[str, Any]]] = {}
+    for rec in records:
+        if rec.get("kind") in ("comm", "kernel", "recovery"):
+            by_rank.setdefault(rec["rank"], []).append(rec)
+    out: dict[int, list[dict]] = {}
+    for rank, recs in by_rank.items():
+        recs.sort(key=lambda r: (r["t0_ns"], -r["t1_ns"]))
+        leaves: list[dict[str, Any]] = []
+        stack: list[dict[str, Any]] = []
+        is_parent: set[int] = set()
+        for rec in recs:
+            while stack and stack[-1]["t1_ns"] <= rec["t0_ns"]:
+                stack.pop()
+            if stack and stack[-1]["t1_ns"] >= rec["t1_ns"]:
+                is_parent.add(id(stack[-1]))
+            stack.append(rec)
+        for rec in recs:
+            if id(rec) not in is_parent and rec["t1_ns"] > rec["t0_ns"]:
+                leaves.append(rec)
+        leaves.sort(key=lambda r: r["t0_ns"])
+        # fill inter-span gaps with synthetic compute segments
+        segments: list[dict] = []
+        cursor: int | None = None
+        for rec in leaves:
+            if cursor is not None and rec["t0_ns"] > cursor:
+                segments.append({
+                    "rank": rank, "name": "(gap)", "kind": "compute",
+                    "t0_ns": cursor, "t1_ns": rec["t0_ns"],
+                })
+            segments.append(rec)
+            cursor = max(cursor or rec["t1_ns"], rec["t1_ns"])
+        out[rank] = segments
+    return out
+
+
+def critical_path(spans: Iterable[dict[str, Any] | Span]) -> CriticalPath:
+    """Reconstruct the chain of segments that bounds wall time.
+
+    Walk backwards from the globally last-ending segment.  A matched
+    collective completes when its last rank arrives, so the path charges
+    the collective only ``[last_arrival, end]`` (the transfer) and then
+    jumps to the straggler's timeline — the wait others spent there is
+    *caused* by the straggler's earlier activity, which the walk
+    continues through.  Non-collective segments charge their full
+    duration and the walk stays on the same rank.
+    """
+    records = _as_records(spans)
+    timeline = [r for r in records if r.get("kind") not in _ANNOTATION_KINDS]
+    if not timeline:
+        return CriticalPath(steps=[], window_ns=0)
+    lo = min(r["t0_ns"] for r in timeline)
+    hi = max(r["t1_ns"] for r in timeline)
+
+    groups = match_collectives(records)
+    group_of: dict[int, MatchedCollective] = {}
+    for g in groups:
+        for rec in g.members.values():
+            group_of[id(rec)] = g
+
+    segments = _leaf_segments(records)
+
+    def predecessor(rank: int, t: int) -> dict | None:
+        best = None
+        for seg in segments.get(rank, ()):
+            if seg["t1_ns"] <= t:
+                if best is None or seg["t1_ns"] > best["t1_ns"]:
+                    best = seg
+        return best
+
+    # start: the globally last-ending segment
+    cur: dict | None = None
+    for segs in segments.values():
+        for seg in segs:
+            if cur is None or seg["t1_ns"] > cur["t1_ns"]:
+                cur = seg
+    steps: list[CriticalPathStep] = []
+    t = hi
+    guard = sum(len(s) for s in segments.values()) + len(groups) + 8
+    while cur is not None and guard > 0:
+        guard -= 1
+        end = min(cur["t1_ns"], t)
+        group = group_of.get(id(cur))
+        if group is not None and len(group.members) >= 2:
+            start = max(cur["t0_ns"], group.last_arrival_ns)
+            if end > start:
+                steps.append(CriticalPathStep(
+                    rank=cur["rank"], name=cur["name"], kind="comm",
+                    t0_ns=start, t1_ns=end,
+                ))
+            t = start
+            straggler = group.straggler
+            if straggler != cur["rank"]:
+                nxt = predecessor(straggler, t)
+                if nxt is None:  # straggler idle since its window start
+                    break
+                cur = nxt
+                continue
+            cur = predecessor(cur["rank"], cur["t0_ns"])
+        else:
+            start = cur["t0_ns"]
+            if end > start:
+                kind = cur["kind"] if cur["kind"] != "comm" else "comm"
+                steps.append(CriticalPathStep(
+                    rank=cur["rank"], name=cur["name"], kind=kind,
+                    t0_ns=start, t1_ns=end,
+                ))
+            t = start
+            cur = predecessor(cur["rank"], start)
+        if t <= lo:
+            break
+    steps.reverse()
+    return CriticalPath(steps=steps, window_ns=hi - lo)
+
+
+def analyze_trace(
+    spans: Iterable[dict[str, Any] | Span]
+) -> tuple[TraceAnalysis, CriticalPath]:
+    """One-call analysis: attribution + critical path of a merged trace."""
+    records = _as_records(spans)
+    return attribute_wait(records), critical_path(records)

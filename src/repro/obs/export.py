@@ -36,6 +36,7 @@ __all__ = [
     "merge_rank_streams",
     "chrome_trace",
     "write_chrome_trace",
+    "snapshot_to_prom",
 ]
 
 
@@ -168,3 +169,69 @@ def write_chrome_trace(
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(chrome_trace(spans)))
     return path
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    """Sanitize a dotted metric name into the Prometheus charset."""
+    full = f"{prefix}_{name}" if prefix else name
+    out = [c if c.isalnum() or c == "_" else "_" for c in full]
+    if out and out[0].isdigit():
+        out.insert(0, "_")
+    return "".join(out)
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def snapshot_to_prom(
+    snapshot: dict[str, Any],
+    prefix: str = "repro",
+    labels: dict[str, str] | None = None,
+) -> str:
+    """Render a metrics snapshot in the Prometheus text exposition format.
+
+    ``snapshot`` is a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+    (or a :func:`~repro.obs.metrics.merge_snapshots` result).  Counters
+    become ``counter`` samples, gauges ``gauge`` samples, and each
+    histogram's streaming summary becomes ``<name>_count`` /
+    ``<name>_sum`` plus ``_min``/``_max`` gauges — enough for rate and
+    mean queries without storing raw samples.  ``labels`` (e.g.
+    ``{"rank": "2", "engine": "decentralized"}``) are attached to every
+    sample, so per-rank snapshots can be scraped side by side from a
+    long-running launcher.
+    """
+    label_str = ""
+    if labels:
+        def esc(v: Any) -> str:
+            return str(v).replace("\\", "\\\\").replace('"', '\\"')
+
+        rendered = ",".join(f'{k}="{esc(v)}"'
+                            for k, v in sorted(labels.items()))
+        label_str = "{" + rendered + "}"
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        pname = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname}{label_str} {_prom_value(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        pname = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname}{label_str} {_prom_value(value)}")
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        base = _prom_name(name, prefix)
+        lines.append(f"# TYPE {base} summary")
+        lines.append(f"{base}_count{label_str} "
+                     f"{_prom_value(hist.get('count', 0))}")
+        lines.append(f"{base}_sum{label_str} "
+                     f"{_prom_value(hist.get('total', 0.0))}")
+        for stat in ("min", "max"):
+            sname = f"{base}_{stat}"
+            lines.append(f"# TYPE {sname} gauge")
+            lines.append(f"{sname}{label_str} "
+                         f"{_prom_value(hist.get(stat, 0.0))}")
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,361 @@
+"""Measured scaling harness: live runs across rank counts, analyzed.
+
+The paper's Figures 3/4 plot speedup over rank counts for both engines;
+``perf/`` *simulates* those curves from the analytic models, and this
+module *measures* them: it runs both engines live across rank counts
+and partition shapes, attributes the traced spans
+(:mod:`repro.obs.analyze`) into busy/wait time, derives relative
+speedup and parallel efficiency from the traced windows, and emits a
+``BENCH_scaling.json`` record (gateable via :mod:`repro.obs.regress`)
+plus a markdown report.
+
+Absolute times on a laptop-scale run say nothing about a 768-core
+cluster — but the *orderings* do: which engine is comm-heavier, whether
+the collective-wait share grows with rank count, whether a monolithic
+(``mps``) distribution shows the load imbalance the paper fixes with
+cyclic.  The report therefore pairs every measured table with the
+analytic prediction from :mod:`repro.perf.scaling` and states whether
+the orderings agree.  ``repro scale`` on the CLI wraps this module.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.obs.analyze import CriticalPath, TraceAnalysis, analyze_trace
+
+__all__ = ["ScalePoint", "ScalingResult", "run_scaling", "DEFAULT_RANKS"]
+
+DEFAULT_RANKS = (1, 2, 4)
+
+
+@dataclass
+class ScalePoint:
+    """One measured (engine, dist, ranks) configuration."""
+
+    engine: str
+    dist: str
+    ranks: int
+    wall_s: float  # traced window (excludes process spawn/teardown)
+    harness_s: float  # parent-side wall including spawn, for reference
+    logl: float
+    iterations: int
+    wait_share: float
+    busy_share: float
+    imbalance: float
+    n_collectives: int
+    n_spans: int
+    dropped_spans: int
+    trace_dir: str
+    critical_path_shares: dict[str, float] = field(default_factory=dict)
+    speedup: float = 1.0
+    efficiency: float = 1.0
+    base_ranks: int = 1
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "engine": self.engine,
+            "dist": self.dist,
+            "ranks": self.ranks,
+            "wall_s": self.wall_s,
+            "harness_s": self.harness_s,
+            "logl": self.logl,
+            "iterations": self.iterations,
+            "wait_share": self.wait_share,
+            "busy_share": self.busy_share,
+            "imbalance": self.imbalance,
+            "n_collectives": self.n_collectives,
+            "n_spans": self.n_spans,
+            "dropped_spans": self.dropped_spans,
+            "trace_dir": self.trace_dir,
+            "critical_path_shares": dict(self.critical_path_shares),
+            "speedup": self.speedup,
+            "efficiency": self.efficiency,
+            "base_ranks": self.base_ranks,
+        }
+
+
+@dataclass
+class ScalingResult:
+    """All measured points plus the analytic predictions they test."""
+
+    points: list[ScalePoint]
+    workload: dict[str, Any] = field(default_factory=dict)
+    predicted: dict[str, Any] = field(default_factory=dict)  # per dist
+    #: dist → ranks(str) → True when the measured comm-heavier engine
+    #: matches the model's prediction.
+    agreement: dict[str, dict[str, bool]] = field(default_factory=dict)
+
+    def point(self, engine: str, dist: str, ranks: int) -> ScalePoint:
+        for p in self.points:
+            if (p.engine, p.dist, p.ranks) == (engine, dist, ranks):
+                return p
+        raise KeyError((engine, dist, ranks))
+
+    def wait_share(self, engine: str, dist: str, ranks: int) -> float:
+        return self.point(engine, dist, ranks).wait_share
+
+    # -- gateable record ------------------------------------------------ #
+    def metrics(self) -> dict[str, float]:
+        """Flat higher-is-worse metrics for the regression gate."""
+        out: dict[str, float] = {}
+        for p in self.points:
+            key = f"scale.{p.engine}.{p.dist}.r{p.ranks}"
+            out[f"{key}.wall_s"] = p.wall_s
+            out[f"{key}.wait_share"] = p.wait_share
+            out[f"{key}.imbalance"] = p.imbalance
+        return out
+
+    def to_bench(self) -> dict[str, Any]:
+        return {
+            "kind": "scaling",
+            "workload": dict(self.workload),
+            "points": [p.to_dict() for p in self.points],
+            "predicted": dict(self.predicted),
+            "agreement": {d: dict(a) for d, a in self.agreement.items()},
+            "metrics": self.metrics(),
+        }
+
+    # -- markdown report (the Fig. 3/4 analogue) ------------------------ #
+    def format_markdown(self) -> str:
+        lines = ["# Measured scaling report", ""]
+        if self.workload:
+            desc = ", ".join(f"{k}={v}" for k, v in self.workload.items())
+            lines += [f"Workload: {desc}", ""]
+        dists = sorted({p.dist for p in self.points})
+        engines = sorted({p.engine for p in self.points})
+        for dist in dists:
+            lines.append(f"## Distribution: {dist}")
+            lines.append("")
+            for engine in engines:
+                pts = sorted(
+                    (p for p in self.points
+                     if p.engine == engine and p.dist == dist),
+                    key=lambda p: p.ranks,
+                )
+                if not pts:
+                    continue
+                lines.append(f"### {engine} (speedup vs "
+                             f"{pts[0].base_ranks} rank(s))")
+                lines.append("")
+                lines.append("| ranks | wall s | speedup | efficiency |"
+                             " busy % | wait % | imbalance λ |")
+                lines.append("|---:|---:|---:|---:|---:|---:|---:|")
+                for p in pts:
+                    lines.append(
+                        f"| {p.ranks} | {p.wall_s:.3f} | {p.speedup:.2f} "
+                        f"| {p.efficiency:.2f} "
+                        f"| {100.0 * p.busy_share:.1f} "
+                        f"| {100.0 * p.wait_share:.1f} "
+                        f"| {p.imbalance:.3f} |"
+                    )
+                lines.append("")
+            if len(engines) == 2:
+                lines.append("### Collective-wait comparison "
+                             "(measured vs model)")
+                lines.append("")
+                lines.append("| ranks | " + " wait % | ".join(engines)
+                             + " wait % | measured comm-heavier "
+                               "| model comm-heavier | agree |")
+                lines.append("|---:|" + "---:|" * (len(engines) + 3))
+                ordering = (self.predicted.get(dist, {})
+                            .get("ordering", {})
+                            .get("comm_heavier", {}))
+                for n in sorted({p.ranks for p in self.points
+                                 if p.dist == dist}):
+                    try:
+                        shares = {e: self.wait_share(e, dist, n)
+                                  for e in engines}
+                    except KeyError:
+                        continue
+                    measured = max(shares, key=shares.get)  # type: ignore[arg-type]
+                    modeled = ordering.get(str(n), "-")
+                    agree = ("yes" if modeled == measured else
+                             ("-" if modeled == "-" else "NO"))
+                    cells = " | ".join(f"{100.0 * shares[e]:.1f}"
+                                       for e in engines)
+                    lines.append(f"| {n} | {cells} | {measured} "
+                                 f"| {modeled} | {agree} |")
+                lines.append("")
+        if self.predicted:
+            lines.append("## Model-predicted totals (reference machine)")
+            lines.append("")
+            for dist, pred in sorted(self.predicted.items()):
+                for engine, per_ranks in sorted(
+                        pred.get("engines", {}).items()):
+                    row = ", ".join(
+                        f"{n}r: {v['total_s']:.4g}s (×{v['speedup']:.2f})"
+                        for n, v in sorted(per_ranks.items(),
+                                           key=lambda kv: int(kv[0]))
+                    )
+                    lines.append(f"- `{dist}` / {engine}: {row}")
+            lines.append("")
+        return "\n".join(lines)
+
+
+def _merged_trace(trace_dir: Path, n_ranks: int) -> list[dict[str, Any]]:
+    from repro.obs.export import merge_rank_streams, rank_trace_path
+
+    paths = [rank_trace_path(trace_dir, r) for r in range(n_ranks)]
+    return merge_rank_streams([p for p in paths if p.exists()])
+
+
+def run_scaling(
+    build_likelihood: Callable[[], Any],
+    start_newick: str,
+    config,
+    engines: Sequence[str] = ("decentralized", "forkjoin"),
+    ranks_list: Iterable[int] = DEFAULT_RANKS,
+    dist_kinds: Sequence[str] = ("cyclic",),
+    trace_root: str | Path = "trace_scale",
+    trace_capacity: int | None = None,
+    predict: bool = True,
+    workload_info: dict[str, Any] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> ScalingResult:
+    """Run every (engine, dist, ranks) configuration live and analyze it.
+
+    ``build_likelihood`` must return a *fresh*
+    :class:`~repro.likelihood.partitioned.PartitionedLikelihood` on each
+    call — the search mutates model state, so configurations must not
+    share one.  Speedup/efficiency are relative to the smallest rank
+    count measured for the same (engine, dist).
+    """
+    from repro.engines.launch import run_decentralized, run_forkjoin
+
+    ranks_sorted = sorted(set(int(n) for n in ranks_list))
+    if not ranks_sorted or ranks_sorted[0] < 1:
+        raise ValueError("ranks_list must hold positive rank counts")
+    trace_root = Path(trace_root)
+    points: list[ScalePoint] = []
+
+    for dist in dist_kinds:
+        for engine in engines:
+            for n in ranks_sorted:
+                lik = build_likelihood()
+                trace_dir = trace_root / f"{engine}-{dist}-r{n}"
+                t0 = time.perf_counter()
+                if engine == "decentralized":
+                    replicas = run_decentralized(
+                        lik.parts, lik.taxa, start_newick, n_ranks=n,
+                        config=config, dist_kind=dist,
+                        n_branch_sets=lik.n_branch_sets,
+                        trace_dir=trace_dir,
+                        trace_capacity=trace_capacity,
+                    )
+                    res = next(r for r in replicas if r is not None)
+                elif engine == "forkjoin":
+                    res = run_forkjoin(
+                        lik.parts, lik.taxa, start_newick, n_ranks=n,
+                        config=config, dist_kind=dist,
+                        n_branch_sets=lik.n_branch_sets,
+                        trace_dir=trace_dir,
+                        trace_capacity=trace_capacity,
+                    )
+                else:
+                    raise ValueError(f"unknown engine {engine!r}")
+                harness_s = time.perf_counter() - t0
+
+                merged = _merged_trace(trace_dir, n)
+                analysis, cpath = analyze_trace(merged)
+                point = _make_point(engine, dist, n, res, analysis, cpath,
+                                    harness_s, str(trace_dir))
+                points.append(point)
+                if progress is not None:
+                    progress(
+                        f"[{engine}/{dist}] {n} rank(s): "
+                        f"{point.wall_s:.2f}s traced, wait "
+                        f"{100.0 * point.wait_share:.1f}%, "
+                        f"λ={point.imbalance:.3f}"
+                    )
+
+    _fill_speedups(points)
+    result = ScalingResult(points=points,
+                           workload=dict(workload_info or {}))
+    if predict:
+        _attach_predictions(result, build_likelihood, start_newick,
+                            config, ranks_sorted, dist_kinds)
+    return result
+
+
+def _make_point(
+    engine: str,
+    dist: str,
+    n: int,
+    res,
+    analysis: TraceAnalysis,
+    cpath: CriticalPath,
+    harness_s: float,
+    trace_dir: str,
+) -> ScalePoint:
+    active = analysis.total_active_ns
+    busy = sum(r.busy_ns for r in analysis.ranks.values())
+    return ScalePoint(
+        engine=engine,
+        dist=dist,
+        ranks=n,
+        wall_s=analysis.window_ns / 1e9,
+        harness_s=harness_s,
+        logl=res.logl,
+        iterations=res.iterations,
+        wait_share=analysis.wait_share,
+        busy_share=busy / active if active else 0.0,
+        imbalance=analysis.imbalance,
+        n_collectives=analysis.n_collectives,
+        n_spans=sum(r.n_spans for r in analysis.ranks.values()),
+        dropped_spans=analysis.dropped_spans,
+        trace_dir=trace_dir,
+        critical_path_shares=cpath.contribution_shares(),
+    )
+
+
+def _fill_speedups(points: list[ScalePoint]) -> None:
+    by_series: dict[tuple[str, str], list[ScalePoint]] = {}
+    for p in points:
+        by_series.setdefault((p.engine, p.dist), []).append(p)
+    for series in by_series.values():
+        base = min(series, key=lambda p: p.ranks)
+        for p in series:
+            p.base_ranks = base.ranks
+            p.speedup = (base.wall_s / p.wall_s) if p.wall_s else 0.0
+            # efficiency vs ideal scaling from the base rank count
+            p.efficiency = (p.speedup * base.ranks / p.ranks
+                            if p.ranks else 0.0)
+
+
+def _attach_predictions(
+    result: ScalingResult,
+    build_likelihood: Callable[[], Any],
+    start_newick: str,
+    config,
+    ranks_sorted: list[int],
+    dist_kinds: Sequence[str],
+) -> None:
+    from repro.perf.scaling import predict_scaling, predicted_ordering
+
+    engines = sorted({p.engine for p in result.points})
+    for dist in dist_kinds:
+        lik = build_likelihood()
+        pred = predict_scaling(
+            lik.parts, lik.taxa, start_newick, config, ranks_sorted,
+            dist_kind=dist, n_branch_sets=lik.n_branch_sets,
+        )
+        ordering = predicted_ordering(pred)
+        doc = pred.to_dict()
+        doc["ordering"] = ordering
+        result.predicted[dist] = doc
+        if len(engines) == 2:
+            agree: dict[str, bool] = {}
+            for n in ranks_sorted:
+                try:
+                    shares = {e: result.wait_share(e, dist, n)
+                              for e in engines}
+                except KeyError:
+                    continue
+                measured = max(shares, key=shares.get)  # type: ignore[arg-type]
+                modeled = ordering["comm_heavier"].get(str(n))
+                agree[str(n)] = measured == modeled
+            result.agreement[dist] = agree

@@ -5,6 +5,7 @@ communication-byte breakdowns and memory footprints."""
 from repro.perf.costmodel import WorkloadMeta, memory_footprint_per_node, swap_multiplier
 from repro.perf.runtime_sim import RuntimeReport, simulate_runtime
 from repro.perf.report import format_table1, format_runtime_table
+from repro.perf.scaling import PredictedScaling, predict_scaling, predicted_ordering
 
 __all__ = [
     "WorkloadMeta",
@@ -14,4 +15,7 @@ __all__ = [
     "simulate_runtime",
     "format_table1",
     "format_runtime_table",
+    "PredictedScaling",
+    "predict_scaling",
+    "predicted_ordering",
 ]

@@ -1,0 +1,140 @@
+"""Model-predicted scaling curves for the measured-scaling harness.
+
+``repro scale`` (:mod:`repro.obs.scaling`) measures speedup/efficiency
+from live traced runs; this module produces the *analytic* counterpart
+from the same deterministic search — replayed once on a
+:class:`~repro.engines.recording.RecordingBackend` and priced with both
+engines' communication models on a reference machine — so the measured
+report can state whether the paper's predicted ordering (de-centralized
+beats fork-join, and by how much per rank count) holds empirically.
+
+Absolute seconds are for the modeled cluster, not the test host; only
+the *orderings* and *trends* (which engine is comm-heavier, how speedup
+bends with rank count) are comparable with measurement, and that is what
+:func:`predicted_ordering` extracts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.dist.distributions import auto_distribution
+from repro.par.machine import HITS_CLUSTER, MachineSpec
+from repro.perf.costmodel import WorkloadMeta
+from repro.perf.runtime_sim import RuntimeReport, simulate_runtime
+
+__all__ = [
+    "PredictedScaling",
+    "predict_scaling",
+    "predicted_ordering",
+]
+
+
+@dataclass
+class PredictedScaling:
+    """Analytic runtimes for both engines across rank counts."""
+
+    dist_kind: str
+    machine: str
+    #: engine → ranks → RuntimeReport
+    reports: dict[str, dict[int, RuntimeReport]] = field(default_factory=dict)
+
+    def total_s(self, engine: str, ranks: int) -> float:
+        return self.reports[engine][ranks].total_s
+
+    def speedup(self, engine: str, ranks: int) -> float:
+        base = min(self.reports[engine])
+        return (self.total_s(engine, base) * base
+                / self.total_s(engine, ranks))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "dist": self.dist_kind,
+            "machine": self.machine,
+            "engines": {
+                engine: {
+                    str(n): {
+                        "total_s": rep.total_s,
+                        "compute_s": rep.compute_s,
+                        "comm_s": rep.comm_s,
+                        "speedup": self.speedup(engine, n),
+                    }
+                    for n, rep in sorted(per_ranks.items())
+                }
+                for engine, per_ranks in self.reports.items()
+            },
+        }
+
+
+def predict_scaling(
+    parts,
+    taxa,
+    start_newick: str,
+    config,
+    ranks_list: list[int],
+    dist_kind: str = "cyclic",
+    n_branch_sets: int = 1,
+    machine: MachineSpec = HITS_CLUSTER,
+) -> PredictedScaling:
+    """Replay the search once, price both engines at every rank count."""
+    from repro.engines.decentral import DecentralizedCommModel
+    from repro.engines.forkjoin import ForkJoinCommModel
+    from repro.engines.recording import RecordingBackend
+    from repro.likelihood.partitioned import PartitionedLikelihood
+    from repro.search.search import hill_climb
+    from repro.tree.newick import parse_newick
+
+    tree = parse_newick(start_newick, n_branch_sets)
+    if n_branch_sets > 1:
+        tree.set_n_branch_sets(n_branch_sets)
+    # private copies: the replay must not disturb the caller's partitions
+    parts = [p.subset(np.arange(p.n_patterns)) for p in parts]
+    lik = PartitionedLikelihood(tree, parts, list(taxa))
+    backend = RecordingBackend(lik)
+    hill_climb(backend, config)
+    meta = WorkloadMeta.from_likelihood(lik)
+
+    models = {
+        "decentralized": DecentralizedCommModel(),
+        "forkjoin": ForkJoinCommModel(),
+    }
+    out = PredictedScaling(dist_kind=dist_kind, machine=machine.name)
+    for engine, model in models.items():
+        per_ranks: dict[int, RuntimeReport] = {}
+        for n in sorted(set(ranks_list)):
+            dist = auto_distribution(
+                meta.cost_patterns, n, use_mps=(dist_kind == "mps")
+            )
+            per_ranks[n] = simulate_runtime(
+                backend.log, model, meta, machine, dist, engine_name=engine
+            )
+        out.reports[engine] = per_ranks
+    return out
+
+
+def predicted_ordering(pred: PredictedScaling) -> dict[str, Any]:
+    """The model's machine-independent claims, for checking against
+    measurement:
+
+    * ``comm_heavier`` — per rank count, the engine the model predicts
+      spends more time in collectives (the paper: fork-join, always);
+    * ``faster`` — per rank count, the engine with the lower predicted
+      total (ties go to ``decentralized``, the paper's winner).
+    """
+    engines = sorted(pred.reports)
+    ranks = sorted(set.intersection(
+        *(set(pred.reports[e]) for e in engines)
+    ))
+    comm_heavier: dict[str, str] = {}
+    faster: dict[str, str] = {}
+    for n in ranks:
+        by_comm = max(engines, key=lambda e: pred.reports[e][n].comm_s)
+        comm_heavier[str(n)] = by_comm
+        best = min(engines,
+                   key=lambda e: (pred.reports[e][n].total_s,
+                                  e != "decentralized"))
+        faster[str(n)] = best
+    return {"comm_heavier": comm_heavier, "faster": faster}

@@ -1,0 +1,198 @@
+"""Regression-gate tests (:mod:`repro.obs.regress` + ``repro regress``).
+
+The acceptance criterion from the issue: the gate must exit nonzero on
+a synthetically slowed run when enough baselines exist, and must stay
+report-only (exit 0) before the history has accumulated.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.regress import (
+    DEFAULT_MIN_BASELINES,
+    bench_metrics,
+    compare_to_baselines,
+    load_baselines,
+)
+
+
+def bench(wall=1.0, wait=0.2, imbalance=1.1):
+    return {
+        "kind": "scaling",
+        "metrics": {
+            "scale.decentralized.cyclic.r4.wall_s": wall,
+            "scale.decentralized.cyclic.r4.wait_share": wait,
+            "scale.decentralized.cyclic.r4.imbalance": imbalance,
+        },
+    }
+
+
+class TestBenchMetrics:
+    def test_prefers_explicit_metrics_section(self):
+        doc = bench(wall=2.5)
+        doc["elapsed_s"] = 99.0  # ignored: metrics section wins
+        metrics = bench_metrics(doc)
+        assert metrics["scale.decentralized.cyclic.r4.wall_s"] == 2.5
+        assert "elapsed_s" not in metrics
+
+    def test_falls_back_to_flattened_seconds(self):
+        # pre-existing records (BENCH_obs_smoke.json) have no metrics
+        # section; numeric *_s leaves remain gateable.
+        doc = {"decentralized": {"wall_s": 1.5, "logl": -1234.0},
+               "forkjoin": {"wall_s": 2.0}}
+        assert bench_metrics(doc) == {
+            "decentralized.wall_s": 1.5,
+            "forkjoin.wall_s": 2.0,
+        }
+
+    def test_non_numeric_and_bool_values_skipped(self):
+        doc = {"metrics": {"a_s": 1.0, "flag": True, "name": "x"}}
+        assert bench_metrics(doc) == {"a_s": 1.0}
+
+
+class TestLoadBaselines:
+    def test_skips_corrupt_files(self, tmp_path):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(bench()))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        docs = load_baselines([good, bad, tmp_path / "missing.json"])
+        assert len(docs) == 1
+
+
+class TestCompare:
+    def test_all_ok_when_unchanged(self):
+        report = compare_to_baselines(bench(), [bench(), bench()])
+        assert report.enforced
+        assert not report.regressions
+        assert report.exit_code == 0
+        assert all(r.status == "ok" for r in report.rows)
+
+    def test_slowed_run_regresses_and_fails(self):
+        current = bench(wall=2.0)  # 2x the baseline median of 1.0
+        report = compare_to_baselines(current, [bench(), bench(wall=1.1)])
+        assert report.enforced
+        (row,) = report.regressions
+        assert row.metric.endswith("wall_s")
+        assert report.failed
+        assert report.exit_code == 1
+        assert "FAIL" in report.format_table()
+
+    def test_median_shrugs_off_one_noisy_baseline(self):
+        # one absurdly slow baseline must not raise the bar
+        baselines = [bench(wall=1.0), bench(wall=1.0), bench(wall=50.0)]
+        report = compare_to_baselines(bench(wall=2.0), baselines)
+        assert any(r.status == "regressed" for r in report.rows)
+
+    def test_abs_floor_suppresses_microscale_flapping(self):
+        # 3x relative blowup but only 3 ms absolute: below the floor
+        current = bench(wall=0.003)
+        report = compare_to_baselines(current, [bench(wall=0.001)] * 2)
+        assert not report.regressions
+
+    def test_improvement_reported_not_failed(self):
+        report = compare_to_baselines(bench(wall=0.4),
+                                      [bench(wall=1.0)] * 2)
+        assert any(r.status == "improved" for r in report.rows)
+        assert report.exit_code == 0
+
+    def test_report_only_below_min_baselines(self):
+        current = bench(wall=5.0)  # clear regression ...
+        report = compare_to_baselines(current, [bench(wall=1.0)])
+        assert len(report.rows) == 3
+        assert report.regressions  # ... still detected and reported
+        assert not report.enforced  # ... but never enforced
+        assert report.exit_code == 0
+        assert "report-only" in report.format_table()
+        assert DEFAULT_MIN_BASELINES == 2
+
+    def test_new_and_missing_metrics(self):
+        current = bench()
+        current["metrics"]["brand.new_s"] = 1.0
+        old = bench()
+        old["metrics"]["vanished_s"] = 2.0
+        report = compare_to_baselines(current, [old, old])
+        assert any(r.status == "new" for r in report.rows)
+        assert report.missing == ["vanished_s"]
+        assert not report.failed  # neither is a hard failure
+
+    def test_no_baselines_everything_new(self):
+        report = compare_to_baselines(bench(), [])
+        assert all(r.status == "new" for r in report.rows)
+        assert not report.enforced
+        assert report.exit_code == 0
+
+
+class TestRegressCli:
+    """``repro regress`` end to end, exit codes included."""
+
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_exits_nonzero_on_slowed_run(self, tmp_path, capsys):
+        b1 = self._write(tmp_path, "b1.json", bench(wall=1.0))
+        b2 = self._write(tmp_path, "b2.json", bench(wall=1.2))
+        cur = self._write(tmp_path, "current.json", bench(wall=3.0))
+        code = main(["regress", str(cur),
+                     "--baselines", str(b1), str(b2)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "regressed" in out
+
+    def test_exits_zero_on_healthy_run(self, tmp_path):
+        b1 = self._write(tmp_path, "b1.json", bench(wall=1.0))
+        b2 = self._write(tmp_path, "b2.json", bench(wall=1.1))
+        cur = self._write(tmp_path, "current.json", bench(wall=1.05))
+        code = main(["regress", str(cur),
+                     "--baselines", str(b1), str(b2)])
+        assert code == 0
+
+    def test_report_only_flag_never_fails(self, tmp_path):
+        b1 = self._write(tmp_path, "b1.json", bench(wall=1.0))
+        b2 = self._write(tmp_path, "b2.json", bench(wall=1.0))
+        cur = self._write(tmp_path, "current.json", bench(wall=9.0))
+        code = main(["regress", str(cur), "--report-only",
+                     "--baselines", str(b1), str(b2)])
+        assert code == 0
+
+    def test_glob_baselines_exclude_current_record(self, tmp_path):
+        # current lives in the same directory the glob matches: it must
+        # not be compared against itself (which would mask regressions).
+        self._write(tmp_path, "BENCH_a.json", bench(wall=1.0))
+        self._write(tmp_path, "BENCH_b.json", bench(wall=1.0))
+        cur = self._write(tmp_path, "BENCH_current.json", bench(wall=9.0))
+        code = main(["regress", str(cur),
+                     "--baselines", str(tmp_path / "BENCH_*.json")])
+        assert code == 1
+
+    def test_zero_baselines_report_only(self, tmp_path, capsys):
+        cur = self._write(tmp_path, "current.json", bench(wall=9.0))
+        code = main(["regress", str(cur),
+                     "--baselines", str(tmp_path / "nothing-*.json")])
+        assert code == 0
+        assert "report-only" in capsys.readouterr().out
+
+    def test_gate_out_writes_machine_readable_report(self, tmp_path):
+        b1 = self._write(tmp_path, "b1.json", bench())
+        b2 = self._write(tmp_path, "b2.json", bench())
+        cur = self._write(tmp_path, "current.json", bench(wall=9.0))
+        gate = tmp_path / "gate.json"
+        code = main(["regress", str(cur), "--baselines", str(b1), str(b2),
+                     "--gate-out", str(gate)])
+        assert code == 1
+        doc = json.loads(gate.read_text())
+        assert doc["failed"] is True
+        assert any(r["status"] == "regressed" for r in doc["rows"])
+
+    def test_threshold_is_tunable(self, tmp_path):
+        b1 = self._write(tmp_path, "b1.json", bench(wall=1.0))
+        b2 = self._write(tmp_path, "b2.json", bench(wall=1.0))
+        cur = self._write(tmp_path, "current.json", bench(wall=1.5))
+        assert main(["regress", str(cur), "--baselines",
+                     str(b1), str(b2)]) == 1  # default x1.3 trips
+        assert main(["regress", str(cur), "--baselines",
+                     str(b1), str(b2), "--threshold", "2.0"]) == 0
