@@ -1,0 +1,192 @@
+"""R003 — collective calls under rank- or exception-dependent branching.
+
+The decentralized engine's correctness contract is that *every* rank
+issues the same collective sequence with the same tags (PAPER.md:
+replicas run in lockstep and meet at each ``MPI_Allreduce``).  A
+collective guarded by ``if comm.rank == 0`` (or reached only from an
+``except`` handler) breaks that contract: some ranks enter the
+collective and block forever while the others sailed past — the classic
+MPI deadlock that only reproduces at scale.
+
+The rule works MPI-Checker-style, on a per-function *collective-sequence
+summary*: each statement list is summarised to the ordered list of
+``(verb, tag)`` collective events it issues, branches are summarised per
+arm, and two checks fire findings:
+
+* an ``if``/``else`` whose *test mentions a rank* and whose arms issue
+  different collective sequences;
+* any collective issued from inside an ``except`` handler (exception
+  delivery is inherently rank-local).
+
+Branches that differ but are *not* rank-dependent get no finding — data-
+dependent branching is how iterative optimizers legitimately work, and
+both replicas evaluate the same data the same way.  The arms still
+collapse into a single opaque marker so sequences downstream stay
+comparable.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import SEVERITY_ERROR, Finding
+from repro.analysis.rules import RuleContext
+
+__all__ = ["run_collective_rule", "COLLECTIVE_VERBS"]
+
+#: Method names treated as collectives when called on a comm-like object.
+COLLECTIVE_VERBS = frozenset({
+    "allreduce", "bcast", "barrier", "agree", "shrink", "scatter",
+    "allgather", "alltoall", "reduce", "gather",
+})
+
+# These verbs are common English / stdlib names (functools.reduce,
+# itertools accumulate patterns, list gathering helpers) — only treat
+# them as collectives when the receiver *looks like* a communicator.
+_AMBIGUOUS_VERBS = frozenset({"reduce", "gather"})
+
+_RANK_TOKENS = ("rank", "world_rank")
+
+
+def _receiver_is_comm(node: ast.Attribute) -> bool:
+    base = node.value
+    name = ""
+    if isinstance(base, ast.Name):
+        name = base.id
+    elif isinstance(base, ast.Attribute):
+        name = base.attr
+    low = name.lower()
+    return "comm" in low or low in ("inner", "_inner")
+
+
+def _collective_of(node: ast.expr) -> tuple[str, str] | None:
+    """``(verb, tag)`` if this expression is a collective call."""
+    if not isinstance(node, ast.Call):
+        return None
+    f = node.func
+    if not isinstance(f, ast.Attribute) or f.attr not in COLLECTIVE_VERBS:
+        return None
+    if f.attr in _AMBIGUOUS_VERBS and not _receiver_is_comm(f):
+        return None
+    if f.attr not in _AMBIGUOUS_VERBS and not (
+        _receiver_is_comm(f) or isinstance(f.value, (ast.Name, ast.Attribute))
+    ):
+        return None
+    tag = "?"
+    for kw in node.keywords:
+        if kw.arg == "tag":
+            if isinstance(kw.value, ast.Constant) and isinstance(
+                kw.value.value, str
+            ):
+                tag = kw.value.value
+            elif isinstance(kw.value, (ast.Name, ast.Attribute)):
+                tag = ast.unparse(kw.value)
+    return (f.attr, tag)
+
+
+def _mentions_rank(test: ast.expr) -> bool:
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and any(
+            t in node.attr.lower() for t in _RANK_TOKENS
+        ):
+            return True
+        if isinstance(node, ast.Name) and any(
+            t in node.id.lower() for t in _RANK_TOKENS
+        ):
+            return True
+    return False
+
+
+class _Summarizer:
+    """Summarise statement lists to ordered collective-event sequences,
+    emitting findings for divergent rank-guarded arms and collectives in
+    exception handlers along the way."""
+
+    def __init__(self, ctx: RuleContext) -> None:
+        self.ctx = ctx
+
+    def summarize(self, body: list[ast.stmt],
+                  in_handler: bool = False) -> list[tuple[str, str]]:
+        seq: list[tuple[str, str]] = []
+        for stmt in body:
+            seq.extend(self._stmt(stmt, in_handler))
+        return seq
+
+    # ------------------------------------------------------------------ #
+    def _calls_in(self, node: ast.AST,
+                  in_handler: bool) -> list[tuple[str, str]]:
+        out: list[tuple[str, str]] = []
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                c = _collective_of(sub)
+                if c is not None:
+                    out.append(c)
+                    if in_handler:
+                        self.ctx.add(
+                            "R003", SEVERITY_ERROR, sub,
+                            f"collective {c[0]}(tag={c[1]!r}) inside an "
+                            "except handler: exception delivery is rank-"
+                            "local, so only some ranks reach this "
+                            "collective and the others deadlock",
+                            "move the collective out of the handler, or "
+                            "agree on the error first (comm.agree) so "
+                            "every rank takes the same path",
+                        )
+        return out
+
+    def _stmt(self, stmt: ast.stmt,
+              in_handler: bool) -> list[tuple[str, str]]:
+        if isinstance(stmt, ast.If):
+            then_seq = self.summarize(stmt.body, in_handler)
+            else_seq = self.summarize(stmt.orelse, in_handler)
+            if then_seq != else_seq:
+                if _mentions_rank(stmt.test):
+                    arms = (f"then={then_seq or '[]'}, "
+                            f"else={else_seq or '[]'}")
+                    self.ctx.add(
+                        "R003", SEVERITY_ERROR, stmt,
+                        "rank-dependent branch issues different "
+                        f"collective sequences ({arms}): ranks taking "
+                        "different arms block in mismatched collectives",
+                        "hoist the collective out of the branch, or make "
+                        "every rank call it (collectives already "
+                        "distinguish roles via root=)",
+                    )
+                # Data-dependent divergence: collapse to an opaque marker
+                # so enclosing comparisons don't double-report.
+                return [("?branch", "?")]
+            return then_seq
+        if isinstance(stmt, ast.Try):
+            seq = self.summarize(stmt.body, in_handler)
+            for handler in stmt.handlers:
+                self.summarize(handler.body, in_handler=True)
+            seq.extend(self.summarize(stmt.orelse, in_handler))
+            seq.extend(self.summarize(stmt.finalbody, in_handler))
+            return seq
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            body_seq = self.summarize(stmt.body, in_handler)
+            body_seq.extend(self.summarize(stmt.orelse, in_handler))
+            return [("?loop", "?")] if body_seq else []
+        if isinstance(stmt, ast.With):
+            return self.summarize(stmt.body, in_handler)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return []  # nested definitions get their own summary
+        # Leaf statement: collect collectives from its expressions.
+        return self._calls_in(stmt, in_handler)
+
+
+def run_collective_rule(tree: ast.Module, path: str,
+                        source_lines: list[str]) -> list[Finding]:
+    """Run R003 over every function (and the module body) of one file."""
+    ctx = RuleContext(tree=tree, path=path, source_lines=source_lines)
+    summarizer = _Summarizer(ctx)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            summarizer.summarize(node.body)
+    # Module-level statements outside any function.
+    top = [s for s in tree.body
+           if not isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef))]
+    summarizer.summarize(top)
+    return ctx.findings

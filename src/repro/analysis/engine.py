@@ -1,0 +1,235 @@
+"""The replicheck driver: file discovery, rule dispatch, suppression
+and baseline application.
+
+``analyze_paths`` is the single entry point used by both the CLI
+(``repro lint``) and the test suite.  It returns an
+:class:`AnalysisReport` that separates *new* findings (gate-relevant)
+from suppressed/baselined ones, and also reports suppression hygiene
+(pragmas without a justification, pragmas that no longer match any
+finding) so exemptions cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.collectives import run_collective_rule
+from repro.analysis.findings import (
+    Baseline,
+    Finding,
+    Suppression,
+    assign_fingerprints,
+    parse_suppressions,
+)
+from repro.analysis.rules import (
+    ImportMap,
+    run_syntax_rules,
+    set_returning_functions,
+)
+
+__all__ = ["AnalysisReport", "analyze_source", "analyze_paths", "RULES"]
+
+#: Rule catalog: id -> one-line description (docs + ``repro lint --rules``).
+RULES = {
+    "R001": "unseeded or global-state RNG in a replica path",
+    "R002": "iteration over an unordered container (set / dict-from-set / "
+            "unsorted filesystem listing)",
+    "R003": "collective under rank-dependent or exception-dependent "
+            "branching (mismatched collective sequences)",
+    "R004": "wall-clock read outside the observability layer",
+    "R005": "float accumulation over an order-nondeterministic iterable",
+}
+
+def _is_obs_path(path: str) -> bool:
+    """obs/ is exempt from R004 — the observability layer exists to read
+    the clock, and timing there never feeds replica control flow."""
+    norm = "/" + path.replace("\\", "/").lstrip("./") + "/"
+    return "/obs/" in norm
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analyzer run produced."""
+
+    findings: list[Finding] = field(default_factory=list)       # gate-relevant
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    unjustified_suppressions: list[tuple[str, Suppression]] = field(
+        default_factory=list)
+    unused_suppressions: list[tuple[str, Suppression]] = field(
+        default_factory=list)
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings or self.parse_errors else 0
+
+    def all_findings(self) -> list[Finding]:
+        return sorted(
+            self.findings + self.suppressed + self.baselined,
+            key=lambda f: (f.path, f.line, f.col, f.rule),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "counts": {
+                "new": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "baselined": len(self.baselined),
+            },
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "unjustified_suppressions": [
+                {"path": p, "line": s.pragma_line,
+                 "rules": sorted(s.rules)}
+                for p, s in self.unjustified_suppressions
+            ],
+            "unused_suppressions": [
+                {"path": p, "line": s.pragma_line,
+                 "rules": sorted(s.rules)}
+                for p, s in self.unused_suppressions
+            ],
+            "parse_errors": [
+                {"path": p, "error": e} for p, e in self.parse_errors
+            ],
+        }
+
+
+def analyze_source(
+    source: str, path: str,
+    set_fns: frozenset[str] = frozenset(),
+) -> tuple[list[Finding], list[Suppression]]:
+    """Run every rule over one file's source.
+
+    Returns the raw (unsuppressed, unfingerprinted) findings plus the
+    inline suppressions found in the file.  Raises ``SyntaxError`` if
+    the source does not parse.  ``set_fns`` names callables known to
+    return sets (resolved by :func:`analyze_paths` from return
+    annotations across the scanned project).
+    """
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    findings = run_syntax_rules(
+        tree, path, lines, skip_r004=_is_obs_path(path), set_fns=set_fns
+    )
+    findings.extend(run_collective_rule(tree, path, lines))
+    return findings, parse_suppressions(source)
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module guess from a file path (``src/repro/tree/x.py`` ->
+    ``src.repro.tree.x``); consumers match by dotted suffix."""
+    return ".".join(path.with_suffix("").parts)
+
+
+def _resolve_imported_set_fns(
+    tree: ast.Module, index: dict[str, set[str]]
+) -> frozenset[str]:
+    """Local aliases of imported functions the project index says return
+    sets.  Matching is by dotted-module suffix, so ``from
+    repro.tree.distances import bipartitions`` finds the index entry for
+    ``src.repro.tree.distances`` regardless of the scan root."""
+
+    def lookup(module: str) -> set[str]:
+        for mod, fns in index.items():
+            if mod == module or mod.endswith("." + module):
+                return fns
+        return set()
+
+    imports = ImportMap(tree)
+    aliases: set[str] = set()
+    for alias, (module, name) in imports.members.items():
+        if name in lookup(module):
+            aliases.add(alias)
+    return frozenset(aliases)
+
+
+def _discover(paths: list[str | Path]) -> list[Path]:
+    out: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            out.append(p)
+    # de-duplicate, preserving order
+    seen: set[Path] = set()
+    uniq = []
+    for p in out:
+        rp = p.resolve()
+        if rp not in seen:
+            seen.add(rp)
+            uniq.append(p)
+    return uniq
+
+
+def analyze_paths(
+    paths: list[str | Path],
+    baseline: Baseline | None = None,
+) -> AnalysisReport:
+    """Analyze files/directories and apply suppressions + baseline."""
+    report = AnalysisReport()
+    baseline = baseline or Baseline()
+    all_findings: list[Finding] = []
+    per_file_suppressions: dict[str, list[Suppression]] = {}
+
+    # Pass 1: parse everything and index set-returning function
+    # signatures project-wide, so R002/R005 can see through calls like
+    # `splits = bipartitions(tree)` across module boundaries.
+    parsed: list[tuple[Path, str, ast.Module]] = []
+    sig_index: dict[str, set[str]] = {}
+    for path in _discover(paths):
+        path_str = str(path)
+        try:
+            source = path.read_text()
+            tree = ast.parse(source, filename=path_str)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            report.parse_errors.append((path_str, str(exc)))
+            continue
+        parsed.append((path, source, tree))
+        fns = set_returning_functions(tree)
+        if fns:
+            sig_index[_module_name(path)] = fns
+
+    # Pass 2: run the rules.
+    for path, source, tree in parsed:
+        path_str = str(path)
+        findings, suppressions = analyze_source(
+            source, path_str,
+            set_fns=_resolve_imported_set_fns(tree, sig_index),
+        )
+        report.files_scanned += 1
+        all_findings.extend(findings)
+        per_file_suppressions[path_str] = suppressions
+
+    assign_fingerprints(all_findings)
+
+    used: set[tuple[str, int]] = set()
+    for f in sorted(all_findings, key=lambda f: (f.path, f.line, f.col)):
+        suppression = next(
+            (s for s in per_file_suppressions.get(f.path, ())
+             if s.line == f.line and f.rule in s.rules),
+            None,
+        )
+        if suppression is not None:
+            used.add((f.path, suppression.pragma_line))
+            report.suppressed.append(f)
+        elif f in baseline:
+            report.baselined.append(f)
+        else:
+            report.findings.append(f)
+
+    for path_str, suppressions in per_file_suppressions.items():
+        for s in suppressions:
+            if not s.justified:
+                report.unjustified_suppressions.append((path_str, s))
+            if (path_str, s.pragma_line) not in used:
+                report.unused_suppressions.append((path_str, s))
+
+    return report

@@ -86,6 +86,11 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         raise SystemExit("--checkpoint-every needs --checkpoint PATH")
     if args.engine != "sequential" and args.resume:
         raise SystemExit("--resume is only supported with --engine sequential")
+    if args.sanitize and args.engine != "decentralized":
+        raise SystemExit(
+            "--sanitize needs --engine decentralized: only the "
+            "decentralized scheme runs replica-symmetric collectives "
+            "(fork-join is master/worker-asymmetric by design)")
 
     alignment = _load_alignment(args.alignment)
     scheme = read_partition_file(args.partitions) if args.partitions else None
@@ -121,6 +126,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                 lik.parts, lik.taxa, start_newick, n_ranks=args.ranks,
                 config=config, dist_kind=args.dist, fault_plan=plan,
                 detect_timeout=args.detect_timeout,
+                sanitize=args.sanitize,
             )
             survivors = [r for r in replicas if r is not None]
             if not survivors:
@@ -295,6 +301,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         )
         newick = write_newick(tree)
         trace_dir = trace_root / engine
+        # replicheck: ignore[R004] -- driver-side wall-clock benchmarking in the CLI process, outside any replica
         t0 = time.perf_counter()
         if engine == "decentralized":
             replicas = run_decentralized(
@@ -313,6 +320,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 n_branch_sets=lik.n_branch_sets, trace_dir=trace_dir,
             )
             measured_rank = 0
+        # replicheck: ignore[R004] -- driver-side wall-clock benchmarking in the CLI process, outside any replica
         wall_s = time.perf_counter() - t0
 
         rank_paths = [rank_trace_path(trace_dir, r)
@@ -506,6 +514,68 @@ def _cmd_regress(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """replicheck: determinism & collective-consistency static analysis."""
+    import json
+
+    from repro.analysis import RULES, Baseline, analyze_paths
+
+    if args.rules:
+        for rule_id, desc in sorted(RULES.items()):
+            print(f"{rule_id}  {desc}")
+        return 0
+
+    paths = args.paths
+    if not paths:
+        # default: the installed repro package itself
+        import repro
+
+        paths = [str(Path(repro.__file__).parent)]
+
+    baseline = (Baseline() if args.no_baseline
+                else Baseline.load(args.baseline))
+    report = analyze_paths(paths, baseline=baseline)
+
+    if args.write_baseline:
+        new_baseline = Baseline.from_findings(
+            report.findings + report.baselined
+        )
+        new_baseline.save(args.baseline)
+        print(f"baseline with {len(new_baseline)} finding(s) written to "
+              f"{args.baseline}", file=sys.stderr)
+        return 0
+
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n")
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+        return report.exit_code
+
+    for f in report.findings:
+        print(f.format())
+    for path, err in report.parse_errors:
+        print(f"{path}: parse error: {err}")
+    if args.verbose:
+        for f in report.suppressed:
+            print(f"[suppressed] {f.format()}")
+        for f in report.baselined:
+            print(f"[baselined] {f.format()}")
+    for path, s in report.unjustified_suppressions:
+        print(f"{path}:{s.pragma_line}: note: suppression for "
+              f"{sorted(s.rules)} has no justification "
+              f"(add `-- why this is replica-safe`)")
+    for path, s in report.unused_suppressions:
+        print(f"{path}:{s.pragma_line}: note: suppression for "
+              f"{sorted(s.rules)} matches no finding (stale?)")
+    print(f"{report.files_scanned} file(s) scanned: "
+          f"{len(report.findings)} new, {len(report.suppressed)} "
+          f"suppressed, {len(report.baselined)} baselined",
+          file=sys.stderr)
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -553,6 +623,12 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="bounded-receive timeout for failure detection "
                             "(catches hung ranks; default 60)")
+    infer.add_argument("--sanitize", action="store_true",
+                       help="cross-check every collective across ranks "
+                            "(tag, op, payload shape, previous result "
+                            "hash) and fail fast with the first diverging "
+                            "call on replica divergence; decentralized "
+                            "engine only")
     infer.set_defaults(func=_cmd_infer)
 
     sim = sub.add_parser("simulate", help="generate a benchmark alignment")
@@ -699,6 +775,37 @@ def build_parser() -> argparse.ArgumentParser:
     regress.add_argument("--gate-out", metavar="PATH",
                          help="write the gate report as JSON here")
     regress.set_defaults(func=_cmd_regress)
+
+    lint = sub.add_parser(
+        "lint",
+        help="replicheck: static analysis for replica-consistency "
+             "hazards (unseeded RNG, unordered iteration, rank-"
+             "conditional collectives, wall-clock control flow, "
+             "order-dependent float accumulation)")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to analyze (default: "
+                           "the installed repro package)")
+    lint.add_argument("--format", choices=["text", "json"],
+                      default="text",
+                      help="finding output format (default text)")
+    lint.add_argument("--baseline", default="replicheck.baseline.json",
+                      metavar="PATH",
+                      help="committed baseline of tolerated findings "
+                           "(default ./replicheck.baseline.json); only "
+                           "findings NOT in it fail the gate")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore the baseline: report every finding")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="accept the current findings: write them to "
+                           "--baseline and exit 0")
+    lint.add_argument("--out", metavar="PATH",
+                      help="also write the full JSON report here "
+                           "(for CI artifacts)")
+    lint.add_argument("--rules", action="store_true",
+                      help="print the rule catalog and exit")
+    lint.add_argument("-v", "--verbose", action="store_true",
+                      help="also list suppressed and baselined findings")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

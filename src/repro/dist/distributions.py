@@ -140,8 +140,6 @@ def split_local_data(parts, rank: int, n_ranks: int, kind: str = "cyclic"):
     for partitions they do not own so every rank's per-partition vectors
     align for the collectives.
     """
-    from repro.likelihood.partitioned import PartitionData  # local import
-
     out = []
     if kind == "cyclic":
         for part in parts:

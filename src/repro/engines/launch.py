@@ -84,6 +84,17 @@ def _maybe_inject(comm: Comm, payload: dict[str, Any]) -> Comm:
     return comm
 
 
+def _maybe_sanitize(comm: Comm, payload: dict[str, Any]) -> Comm:
+    """Innermost wrapper (fault injection and tracing stack on top): the
+    injector must count application collectives, not the sanitizer's
+    control rounds, and spans should time the checked call as one unit."""
+    if payload.get("sanitize") and comm.size > 1:
+        from repro.par.sanitize import SanitizingComm
+
+        return SanitizingComm(comm)
+    return comm
+
+
 def _prepare_trace_dir(trace_dir: str | Path | None) -> str | None:
     """Create the trace directory in the parent, before ranks fork."""
     if trace_dir is None:
@@ -151,7 +162,10 @@ def _obs_snapshot(metrics, tracer) -> dict[str, Any]:
 def _decentral_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult:
     world0 = comm.rank  # original world rank: names the trace stream
     tracer, metrics = _make_obs(payload, world0)
-    comm = _wrap_tracing(_maybe_inject(comm, payload), tracer, metrics)
+    comm = _wrap_tracing(
+        _maybe_inject(_maybe_sanitize(comm, payload), payload),
+        tracer, metrics,
+    )
     tree = _rebuild_tree(payload["newick"], payload["n_branch_sets"])
     local_parts = split_local_data(
         payload["parts"], comm.rank, comm.size, payload["dist_kind"]
@@ -220,6 +234,7 @@ def run_decentralized(
     detect_timeout: float | None = None,
     trace_dir: str | Path | None = None,
     trace_capacity: int | None = None,
+    sanitize: bool = False,
 ) -> list[DistributedResult]:
     """Run the ExaML scheme on ``n_ranks`` real processes.
 
@@ -227,6 +242,12 @@ def run_decentralized(
     returned list holds ``None`` at failed ranks and the survivors'
     results record the failure and recovery (``failed_ranks`` in the
     original rank numbering, ``recoveries``).
+
+    With ``sanitize=True``, every collective is cross-checked across
+    ranks first (:class:`~repro.par.sanitize.SanitizingComm`); replica
+    divergence raises
+    :class:`~repro.errors.ReplicaDivergenceError` on every rank instead
+    of silently drifting or deadlocking.
 
     With ``trace_dir``, every rank traces its collectives (spans +
     counters, see :mod:`repro.obs`) and writes
@@ -243,6 +264,7 @@ def run_decentralized(
         "fault_plan": fault_plan,
         "trace_dir": _prepare_trace_dir(trace_dir),
         "trace_capacity": trace_capacity,
+        "sanitize": sanitize,
     }
     return run_mpi(
         n_ranks,
@@ -406,8 +428,6 @@ def run_sequential_reference(
     n_branch_sets: int = 1,
 ) -> DistributedResult:
     """The single-rank reference both engines must reproduce."""
-    import numpy as np
-
     from repro.likelihood.backend import SequentialBackend
 
     tree = _rebuild_tree(start_newick, n_branch_sets)

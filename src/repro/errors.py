@@ -52,6 +52,40 @@ class RankFailureError(CommError):
         )
 
 
+class ReplicaDivergenceError(CommError):
+    """The ranks' replicas issued inconsistent collectives.
+
+    Raised on *every* rank by
+    :class:`~repro.par.sanitize.SanitizingComm` when a cross-rank check
+    finds the ranks disagreeing about the collective they are in — the
+    verb, its Table-I tag, the reduce op, the payload shape, or the hash
+    of the previous collective's (rank-symmetric) result.  Divergence is
+    a *program bug*, not a fault: this deliberately derives from
+    :class:`CommError` but not :class:`RankFailureError`, so the
+    decentralized recovery loop does not try to "recover" from it.
+
+    ``call_index`` is the 0-based index of the first diverging
+    collective (counted since launch or since the last shrink);
+    ``diverging_ranks`` are the ranks that disagreed with the majority.
+    """
+
+    def __init__(self, call_index: int, diverging_ranks,
+                 details: str = "") -> None:
+        self.call_index = int(call_index)
+        self.diverging_ranks = tuple(
+            sorted(int(r) for r in diverging_ranks)
+        )
+        self.details = details
+        message = (
+            f"replica divergence at collective #{self.call_index}: "
+            f"rank(s) {list(self.diverging_ranks)} disagree with the "
+            "majority"
+        )
+        if details:
+            message += "\n" + details
+        super().__init__(message)
+
+
 class DistributionError(ReproError):
     """Infeasible or inconsistent data-distribution request."""
 

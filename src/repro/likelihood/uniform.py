@@ -24,7 +24,7 @@ from repro.likelihood.partitioned import (
     PartitionData,
     PartitionedLikelihood,
 )
-from repro.model.rates import DiscreteGamma, NoRateHeterogeneity, PerSiteRates
+from repro.model.rates import DiscreteGamma
 from repro.par.ledger import ComputeItem, OpKind
 from repro.tree.topology import Node, Tree
 from repro.tree.traversal import TraversalDescriptor, traversal_for_edge

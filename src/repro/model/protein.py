@@ -23,7 +23,6 @@ import numpy as np
 
 from repro.errors import ModelError
 from repro.model.substitution import SubstitutionModel
-from repro.seq.alphabet import AMINO_ACIDS
 
 __all__ = ["POISSON", "GTR20", "parse_paml_dat", "read_paml_dat", "N_AA"]
 

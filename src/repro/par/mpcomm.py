@@ -340,7 +340,7 @@ class MPComm(Comm):
                 msg = self._recv_raw(r, intercept=False)
                 if _is_ctrl(msg, _SHRINK_MARK):
                     break
-        for r in failed:
+        for r in sorted(failed):
             conn = self._conns.pop(r, None)
             if conn is not None:
                 try:
@@ -474,7 +474,9 @@ def run_mpi(
     try:
         # Poll all ranks round-robin so one rank's early crash surfaces
         # immediately instead of deadlocking its peers until the timeout.
+        # replicheck: ignore[R004] -- run_mpi is the parent orchestrator, not a replica; failure detection is intentionally time-based
         deadline = time.monotonic() + timeout
+        # replicheck: ignore[R004] -- parent-side liveness tracking, not replica control flow
         last_progress = time.monotonic()
         while pending:
             progressed = False
@@ -507,6 +509,7 @@ def run_mpi(
                         failed.update(int(x) for x in value)
                     else:
                         errors.append(f"rank {r}:\n{value}")
+            # replicheck: ignore[R004] -- parent-side hang detection deadline, not replica control flow
             now = time.monotonic()
             if progressed:
                 last_progress = now

@@ -1,0 +1,29 @@
+"""Deterministic-by-default RNG construction.
+
+``np.random.default_rng(None)`` draws OS entropy, which breaks the
+replica-consistency contract: every decentralized rank must build the
+*same* starting tree, bootstrap weights, etc. from the same inputs
+(replicheck rule R001).  :func:`ensure_rng` is the repo-wide fallback:
+an omitted seed means the fixed :data:`DEFAULT_SEED`, never entropy —
+callers wanting varied streams must say so with an explicit seed or
+Generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DEFAULT_SEED", "ensure_rng"]
+
+#: The fallback seed used whenever a caller omits one.
+DEFAULT_SEED = 42
+
+
+def ensure_rng(
+    rng: np.random.Generator | int | None,
+) -> np.random.Generator:
+    """Coerce ``rng`` to a Generator; ``None`` means the fixed
+    :data:`DEFAULT_SEED`, not OS entropy."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(DEFAULT_SEED if rng is None else rng)

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.errors import SearchError
 from repro.likelihood.backend import SequentialBackend
+from repro.rng import ensure_rng
 from repro.likelihood.partitioned import PartitionData, PartitionedLikelihood
 from repro.search.search import SearchConfig, hill_climb
 from repro.tree.distances import bipartitions
@@ -92,10 +93,14 @@ def bootstrap_support(
     """
     if n_replicates < 1:
         raise SearchError("need at least one replicate")
-    rng = np.random.default_rng(rng)
+    rng = ensure_rng(rng)
     config = config or SearchConfig(max_iterations=2, radius_max=2,
                                     model_opt=False)
-    reference_splits = bipartitions(reference_tree)
+    # Sort the split set once: set iteration order follows the per-
+    # process str hash seed, which would give replicas (and re-runs)
+    # different support-dict orders and accumulation sequences.
+    reference_splits = sorted(bipartitions(reference_tree),
+                              key=lambda s: sorted(s))
     hits = {split: 0 for split in reference_splits}
 
     for _ in range(n_replicates):

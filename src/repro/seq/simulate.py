@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ModelError, TreeError
+from repro.rng import ensure_rng
 from repro.seq.alignment import Alignment
 from repro.seq.alphabet import DNA, Alphabet
 from repro.model.substitution import SubstitutionModel
@@ -60,7 +61,7 @@ def simulate_alignment(
             f"{alphabet.name} has {alphabet.n_states}"
         )
     tree.validate()
-    rng = np.random.default_rng(rng)
+    rng = ensure_rng(rng)
 
     if site_rates is not None:
         site_rates = np.asarray(site_rates, dtype=np.float64)
@@ -129,7 +130,7 @@ def simulate_partitioned_alignment(
         raise ModelError("one alpha per partition required")
     if partition_rate_multipliers is not None and len(partition_rate_multipliers) != p:
         raise ModelError("one rate multiplier per partition required")
-    rng = np.random.default_rng(rng)
+    rng = ensure_rng(rng)
 
     blocks: list[Alignment] = []
     for i in range(p):

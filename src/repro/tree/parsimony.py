@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import TreeError
+from repro.rng import ensure_rng
 from repro.seq.alignment import PatternAlignment
 from repro.tree.topology import Node, Tree
 
@@ -89,7 +90,7 @@ def parsimony_tree(
     taxa = list(patterns.taxa)
     if len(taxa) < 3:
         raise TreeError("need at least 3 taxa")
-    rng = np.random.default_rng(rng)
+    rng = ensure_rng(rng)
     order = [taxa[i] for i in rng.permutation(len(taxa))]
 
     tree = Tree(n_branch_sets)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import TreeError
+from repro.rng import ensure_rng
 from repro.tree.topology import Tree
 
 __all__ = ["random_topology", "yule_tree"]
@@ -30,7 +31,7 @@ def random_topology(
         raise TreeError("need at least 3 taxa")
     if len(set(taxa)) != len(taxa):
         raise TreeError("taxa must be unique")
-    rng = np.random.default_rng(rng)
+    rng = ensure_rng(rng)
 
     tree = Tree(n_branch_sets)
     order = list(taxa)
@@ -68,7 +69,7 @@ def yule_tree(
     """
     if mean_branch_length <= 0:
         raise TreeError("mean_branch_length must be positive")
-    rng = np.random.default_rng(rng)
+    rng = ensure_rng(rng)
     tree = random_topology(taxa, rng, default_length=mean_branch_length,
                            n_branch_sets=n_branch_sets)
     for u, v in tree.edges():

@@ -1,0 +1,24 @@
+"""Known-bad fixture: unseeded / global-state RNG (R001)."""
+
+import random
+
+import numpy as np
+
+
+def shuffle_taxa(taxa):
+    random.shuffle(taxa)  # R001: stdlib global RNG
+    return taxa
+
+
+def jitter_branches(lengths):
+    noise = np.random.rand(len(lengths))  # R001: legacy global numpy RNG
+    return lengths + noise
+
+
+def fresh_stream():
+    return np.random.default_rng()  # R001: OS entropy, differs per rank
+
+
+def lazy_default(rng=None):
+    rng = np.random.default_rng(rng)  # R001: None default -> OS entropy
+    return rng.random()

@@ -1,0 +1,26 @@
+"""Known-bad fixture: iteration over unordered containers (R002)."""
+
+import os
+
+
+def visit_splits(tree_splits: set):
+    total = []
+    for split in tree_splits:  # R002: set iteration order is per-process
+        total.append(len(split))
+    return total
+
+
+def index_splits(splits):
+    splits = set(splits)
+    return {s: i for i, s in enumerate(splits)}  # R002: dict comp over set
+
+
+def load_alignments(directory):
+    payloads = []
+    for name in os.listdir(directory):  # R002: filesystem order
+        payloads.append(name)
+    return payloads
+
+
+def materialize(candidates: frozenset):
+    return list(candidates)  # R002: list() freezes an arbitrary order

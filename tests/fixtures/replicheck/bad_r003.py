@@ -1,0 +1,24 @@
+"""Known-bad fixture: collectives under rank/exception branching (R003)."""
+
+
+def rank_guarded_bcast(comm, model):
+    if comm.rank == 0:
+        comm.bcast(model, root=0, tag="model parameters")  # R003
+    return model
+
+
+def lopsided_allreduce(comm, values, threshold):
+    if comm.rank < 2:
+        total = comm.allreduce(values, tag="per-site/per-partition likelihoods")
+    else:  # R003: other ranks run a different collective sequence
+        comm.barrier(tag="generic")
+        total = None
+    return total
+
+
+def collective_in_handler(comm, payload):
+    try:
+        result = comm.allreduce(payload, tag="branch length optimization")
+    except ValueError:
+        result = comm.bcast(None, root=0, tag="generic")  # R003: handler
+    return result

@@ -1,0 +1,25 @@
+"""Known-bad fixture: wall clock steering replica control flow (R004)."""
+
+import time
+from datetime import datetime
+
+
+def time_boxed_search(backend, budget_s):
+    start = time.time()  # R004: rank-local timestamp
+    iterations = 0
+    while time.time() - start < budget_s:  # R004: wall clock in loop test
+        backend.step()
+        iterations += 1
+    return iterations
+
+
+def nightly_mode():
+    stamp = datetime.now()  # R004: rank-local wall clock
+    return stamp.hour < 6
+
+
+def adaptive_cutoff(backend):
+    t0 = time.perf_counter()  # R004: rank-local timer
+    backend.evaluate()
+    if time.perf_counter() - t0 > 1.0:  # R004: decision from local timing
+        backend.shrink_radius()

@@ -1,0 +1,19 @@
+"""Known-bad fixture: order-nondeterministic float accumulation (R005)."""
+
+import math
+
+import numpy as np
+
+
+def total_support(split_weights: set):
+    return sum(split_weights)  # R005: float sum over a set
+
+
+def total_loglik(per_partition: dict):
+    values = set(per_partition.values())
+    return math.fsum(v for v in values)  # R005: fsum over set generator
+
+
+def stacked(likelihoods):
+    pool = frozenset(likelihoods)
+    return np.sum([v * 0.5 for v in pool])  # R005: np.sum over set comp

@@ -1,0 +1,49 @@
+"""Known-good fixture: replica-safe versions of every bad pattern."""
+
+import os
+
+import numpy as np
+
+
+def shuffle_taxa(taxa, rng: np.random.Generator):
+    order = rng.permutation(len(taxa))
+    return [taxa[i] for i in order]
+
+
+def seeded_stream(seed: int):
+    return np.random.default_rng(seed)
+
+
+def visit_splits(tree_splits: set):
+    total = []
+    for split in sorted(tree_splits, key=sorted):
+        total.append(len(split))
+    return total
+
+
+def count_splits(tree_splits: set):
+    # order-insensitive consumers of a set are fine
+    return len(tree_splits), max(tree_splits, default=None)
+
+
+def load_alignments(directory):
+    return [name for name in sorted(os.listdir(directory))]
+
+
+def symmetric_allreduce(comm, values, threshold):
+    # every rank issues the identical collective sequence; the *root*
+    # argument is how roles are expressed, not branching
+    total = comm.allreduce(values, tag="per-site/per-partition likelihoods")
+    if total > threshold:
+        # data-dependent branching is replica-consistent: the allreduce
+        # result is identical on every rank
+        total = comm.allreduce(values, tag="branch length optimization")
+    return total
+
+
+def total_support(split_weights: set):
+    return sum(sorted(split_weights))
+
+
+def membership(candidates: set, probe):
+    return probe in candidates

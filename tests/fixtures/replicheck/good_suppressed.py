@@ -1,0 +1,17 @@
+"""Known-good fixture: findings silenced by inline pragmas."""
+
+import time
+
+
+def parent_watchdog(children, timeout):
+    # replicheck: ignore[R004] -- parent-process watchdog, not a replica
+    deadline = time.monotonic() + timeout
+    return deadline
+
+
+def entropy_pool(counts: set):
+    return sum(counts)  # replicheck: ignore[R005] -- integer counts: addition is associative
+
+
+def unjustified(counts: set):
+    return sum(counts)  # replicheck: ignore[R005]

@@ -1,0 +1,333 @@
+"""replicheck: the determinism & collective-consistency static analyzer.
+
+The fixture corpus under ``tests/fixtures/replicheck/`` carries the
+known-bad patterns (one file per rule, >= 2 seeded violations each) and
+known-good counterparts; the acceptance test at the bottom runs the
+analyzer over ``src/repro`` itself and requires zero unsuppressed
+findings — the shipped baseline stays empty.
+"""
+
+import json
+import textwrap
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    RULES,
+    Baseline,
+    analyze_paths,
+    analyze_source,
+    parse_suppressions,
+)
+from repro.analysis.findings import assign_fingerprints
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "replicheck"
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+
+def findings_for(path: Path):
+    report = analyze_paths([path])
+    assert not report.parse_errors, report.parse_errors
+    return report
+
+
+def from_snippet(code: str):
+    findings, _ = analyze_source(textwrap.dedent(code), "snippet.py")
+    return findings
+
+
+class TestRuleCatalog:
+    def test_all_five_rules_documented(self):
+        assert sorted(RULES) == ["R001", "R002", "R003", "R004", "R005"]
+
+    @pytest.mark.parametrize("rule", sorted(RULES))
+    def test_bad_fixture_flags_only_its_rule(self, rule):
+        report = findings_for(FIXTURES / f"bad_{rule.lower()}.py")
+        counts = Counter(f.rule for f in report.findings)
+        assert counts[rule] >= 2, counts
+        assert set(counts) == {rule}, counts
+
+    def test_good_fixture_is_clean(self):
+        report = findings_for(FIXTURES / "good_clean.py")
+        assert report.findings == []
+
+    def test_every_finding_carries_location_and_hint(self):
+        report = analyze_paths([FIXTURES])
+        for f in report.all_findings():
+            assert f.rule in RULES
+            assert f.severity in ("error", "warning")
+            assert f.line > 0 and f.path
+            assert f.message
+            formatted = f.format()
+            assert f"{f.path}:{f.line}" in formatted
+            assert f.rule in formatted
+
+
+class TestR001:
+    def test_seeded_generator_is_clean(self):
+        assert from_snippet("""
+            import numpy as np
+            rng = np.random.default_rng(42)
+            x = rng.random()
+        """) == []
+
+    def test_unseeded_default_rng_flagged(self):
+        findings = from_snippet("""
+            import numpy as np
+            rng = np.random.default_rng()
+        """)
+        assert [f.rule for f in findings] == ["R001"]
+
+    def test_none_default_parameter_flagged(self):
+        findings = from_snippet("""
+            import numpy as np
+            def build(rng=None):
+                return np.random.default_rng(rng)
+        """)
+        assert [f.rule for f in findings] == ["R001"]
+
+    def test_threaded_parameter_without_none_default_is_clean(self):
+        assert from_snippet("""
+            import numpy as np
+            def build(seed):
+                return np.random.default_rng(seed)
+        """) == []
+
+
+class TestR002:
+    def test_sorted_wrapper_is_clean(self):
+        assert from_snippet("""
+            def f(splits: set):
+                return [len(s) for s in sorted(splits, key=sorted)]
+        """) == []
+
+    def test_order_insensitive_consumers_are_clean(self):
+        assert from_snippet("""
+            def f(splits: set):
+                return len(splits), max(splits), any(splits)
+        """) == []
+
+    def test_cross_module_set_return_annotation(self, tmp_path):
+        (tmp_path / "producer.py").write_text(textwrap.dedent("""
+            def bipartitions(tree) -> set:
+                return {frozenset([1]), frozenset([2])}
+        """))
+        (tmp_path / "consumer.py").write_text(textwrap.dedent("""
+            from producer import bipartitions
+
+            def support(tree):
+                return {s: 0 for s in bipartitions(tree)}
+        """))
+        report = analyze_paths([tmp_path])
+        assert [f.rule for f in report.findings] == ["R002"]
+        assert report.findings[0].path.endswith("consumer.py")
+
+
+class TestR003:
+    def test_data_dependent_branch_is_clean(self):
+        # both replicas evaluate the same replicated value identically
+        assert from_snippet("""
+            def step(comm, x):
+                total = comm.allreduce(x, tag="a")
+                if total > 0:
+                    comm.allreduce(x, tag="b")
+        """) == []
+
+    def test_rank_branch_same_sequence_is_clean(self):
+        assert from_snippet("""
+            def step(comm, x):
+                if comm.rank == 0:
+                    comm.bcast(x, root=0, tag="a")
+                else:
+                    comm.bcast(None, root=0, tag="a")
+        """) == []
+
+    def test_rank_branch_different_sequence_flagged(self):
+        findings = from_snippet("""
+            def step(comm, x):
+                if comm.rank == 0:
+                    comm.bcast(x, root=0, tag="a")
+        """)
+        assert [f.rule for f in findings] == ["R003"]
+
+    def test_functools_reduce_not_a_collective(self):
+        assert from_snippet("""
+            from functools import reduce
+            def total(xs, rank):
+                if rank == 0:
+                    return reduce(lambda a, b: a + b, xs)
+                return 0
+        """) == []
+
+
+class TestR004:
+    def test_wall_clock_in_loop_test_is_error(self):
+        findings = from_snippet("""
+            import time
+            def run(budget):
+                start = time.time()
+                while time.time() - start < budget:
+                    pass
+        """)
+        assert {f.rule for f in findings} == {"R004"}
+        assert any(f.severity == "error" for f in findings)
+
+    def test_obs_layer_is_exempt(self):
+        findings, _ = analyze_source(
+            "import time\nt = time.perf_counter()\n",
+            "src/repro/obs/tracer.py",
+        )
+        assert findings == []
+
+
+class TestR005:
+    def test_sum_over_list_is_clean(self):
+        assert from_snippet("def f(xs: list):\n    return sum(xs)\n") == []
+
+    def test_sum_over_sorted_set_is_clean(self):
+        assert from_snippet(
+            "def f(xs: set):\n    return sum(sorted(xs))\n") == []
+
+    def test_sum_over_set_flagged_once(self):
+        findings = from_snippet("def f(xs: set):\n    return sum(xs)\n")
+        assert [f.rule for f in findings] == ["R005"]
+
+
+class TestSuppressions:
+    def test_same_line_and_next_line_pragmas(self):
+        source = textwrap.dedent("""
+            import time
+            # replicheck: ignore[R004] -- standalone pragma, next line
+            a = time.time()
+            b = time.time()  # replicheck: ignore[R004] -- same line
+        """)
+        sups = parse_suppressions(source)
+        assert [(s.line, s.justified) for s in sups] == [(4, True), (5, True)]
+
+    def test_pragma_in_docstring_is_not_a_suppression(self):
+        source = '"""# replicheck: ignore[R001] -- docs only"""\n'
+        assert parse_suppressions(source) == []
+
+    def test_suppressed_fixture_reports_hygiene(self):
+        report = findings_for(FIXTURES / "good_suppressed.py")
+        assert report.findings == []
+        assert len(report.suppressed) == 3
+        assert len(report.unjustified_suppressions) == 1
+        assert report.unused_suppressions == []
+
+    def test_wrong_rule_pragma_does_not_suppress(self):
+        findings, sups = analyze_source(
+            "import time\nt = time.time()"
+            "  # replicheck: ignore[R001] -- wrong rule\n",
+            "x.py",
+        )
+        assert [f.rule for f in findings] == ["R004"]
+        assert sups[0].rules == frozenset({"R001"})
+
+
+class TestBaseline:
+    def test_fingerprints_survive_line_shifts(self):
+        code = "import random\nrandom.shuffle([])\n"
+        shifted = "import random\n\n\n# moved\nrandom.shuffle([])\n"
+        f1, _ = analyze_source(code, "x.py")
+        f2, _ = analyze_source(shifted, "x.py")
+        assign_fingerprints(f1)
+        assign_fingerprints(f2)
+        assert f1[0].fingerprint == f2[0].fingerprint
+        assert f1[0].line != f2[0].line
+
+    def test_identical_snippets_get_distinct_fingerprints(self):
+        code = "import random\nrandom.shuffle([])\nrandom.shuffle([])\n"
+        findings, _ = analyze_source(code, "x.py")
+        assign_fingerprints(findings)
+        prints = {f.fingerprint for f in findings}
+        assert len(prints) == 2
+
+    def test_baselined_findings_do_not_gate(self, tmp_path):
+        bad = tmp_path / "legacy.py"
+        bad.write_text("import random\nrandom.shuffle([])\n")
+        first = analyze_paths([bad])
+        assert first.exit_code == 1
+        baseline = Baseline.from_findings(first.findings)
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        second = analyze_paths([bad], baseline=Baseline.load(path))
+        assert second.exit_code == 0
+        assert len(second.baselined) == 1
+        # new debt still gates
+        bad.write_text(
+            "import random\nrandom.shuffle([])\nrandom.random()\n")
+        third = analyze_paths([bad], baseline=Baseline.load(path))
+        assert third.exit_code == 1
+        assert len(third.findings) == 1
+        assert len(third.baselined) == 1
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+
+class TestLintCLI:
+    def test_json_format_and_exit_code(self, tmp_path, capsys):
+        code = main(["lint", str(FIXTURES / "bad_r001.py"),
+                     "--format", "json", "--no-baseline"])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["counts"]["new"] >= 2
+        assert all(f["rule"] == "R001" for f in report["findings"])
+
+    def test_text_format_lists_findings(self, capsys):
+        code = main(["lint", str(FIXTURES / "bad_r002.py"),
+                     "--no-baseline"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "R002" in out and "bad_r002.py" in out
+
+    def test_clean_paths_exit_zero(self, capsys):
+        assert main(["lint", str(FIXTURES / "good_clean.py"),
+                     "--no-baseline"]) == 0
+
+    def test_write_baseline_then_gate_passes(self, tmp_path, capsys):
+        bad = tmp_path / "legacy.py"
+        bad.write_text("import random\nrandom.shuffle([])\n")
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(bad), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        assert baseline.exists()
+        assert main(["lint", str(bad), "--baseline", str(baseline)]) == 0
+
+    def test_out_writes_report_artifact(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        main(["lint", str(FIXTURES / "bad_r003.py"), "--no-baseline",
+              "--out", str(out)])
+        report = json.loads(out.read_text())
+        assert report["counts"]["new"] >= 2
+
+    def test_rules_listing(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule in out
+
+
+class TestSelfCheck:
+    """The triage satellite: src/repro itself must be clean."""
+
+    def test_src_repro_has_zero_unsuppressed_findings(self):
+        report = analyze_paths([SRC])
+        assert not report.parse_errors, report.parse_errors
+        assert report.findings == [], "\n".join(
+            f.format() for f in report.findings
+        )
+
+    def test_src_repro_suppressions_all_justified_and_used(self):
+        report = analyze_paths([SRC])
+        assert report.unjustified_suppressions == []
+        assert report.unused_suppressions == []
+
+    def test_shipped_baseline_is_empty(self):
+        baseline = Baseline.load(
+            Path(__file__).parent.parent / "replicheck.baseline.json")
+        assert len(baseline) == 0
