@@ -20,7 +20,12 @@ Commands mirror the RAxML-Light/ExaML workflow the paper describes:
   markdown report) alongside the analytic model's predicted ordering;
 * ``regress``  — gate a ``BENCH_*.json`` record against prior baselines
   (median comparison with noise-tolerant thresholds; report-only until
-  enough baselines exist).
+  enough baselines exist; defaults to the committed ``benchmarks/``
+  records plus the run registry's bench snapshots);
+* ``watch``    — live per-rank table (phase, logL, beat age, stall
+  flags) over a monitored run's heartbeat channel;
+* ``runs``     — query the persistent run registry (``.repro_runs/``):
+  ``list`` history, ``show`` one manifest, ``compare`` bench metrics.
 """
 
 from __future__ import annotations
@@ -91,6 +96,10 @@ def _cmd_infer(args: argparse.Namespace) -> int:
             "--sanitize needs --engine decentralized: only the "
             "decentralized scheme runs replica-symmetric collectives "
             "(fork-join is master/worker-asymmetric by design)")
+    if args.monitor and args.engine == "sequential":
+        raise SystemExit(
+            "--monitor needs a distributed engine (the heartbeat "
+            "channel observes per-rank collectives)")
 
     alignment = _load_alignment(args.alignment)
     scheme = read_partition_file(args.partitions) if args.partitions else None
@@ -114,6 +123,28 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint if args.checkpoint_every else None,
     )
 
+    registry = run_id = None
+    if not args.no_register:
+        from repro.obs.registry import RunRegistry
+
+        registry = RunRegistry()
+        run_id = registry.register({
+            "command": "infer",
+            "engine": args.engine,
+            "ranks": args.ranks if args.engine != "sequential" else 1,
+            "dist": args.dist,
+            "seed": args.seed,
+            "alignment": str(args.alignment),
+            "config": {
+                "iterations": args.iterations, "radius": args.radius,
+                "epsilon": args.epsilon, "model": args.model,
+                "per_partition_branches": args.per_partition_branches,
+            },
+            "inject_failure": args.inject_failure,
+        })
+        print(f"run {run_id} registered under {registry.root}",
+              file=sys.stderr)
+
     if args.engine != "sequential":
         from repro.engines.launch import run_decentralized, run_forkjoin
         from repro.par.faultcomm import FaultPlan
@@ -121,33 +152,85 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         plan = (FaultPlan.parse(args.inject_failure)
                 if args.inject_failure else None)
         start_newick = write_newick(tree)
-        if args.engine == "decentralized":
-            replicas = run_decentralized(
-                lik.parts, lik.taxa, start_newick, n_ranks=args.ranks,
-                config=config, dist_kind=args.dist, fault_plan=plan,
-                detect_timeout=args.detect_timeout,
-                sanitize=args.sanitize,
-            )
-            survivors = [r for r in replicas if r is not None]
-            if not survivors:
-                raise SystemExit("no surviving replicas")
-            res = survivors[0]
-            if res.failed_ranks:
-                print(
-                    f"rank(s) {list(res.failed_ranks)} failed; recovered "
-                    f"in-run ({res.recoveries} recovery round(s), "
-                    f"{len(survivors)} survivor(s))",
-                    file=sys.stderr,
+        monitor_dir = None
+        monitor_thread = None
+        if args.monitor:
+            from repro.obs.monitor import MonitorThread
+
+            monitor_dir = args.monitor_dir or (
+                str(registry.root / run_id / "monitor") if run_id
+                else "monitor")
+            Path(monitor_dir).mkdir(parents=True, exist_ok=True)
+            monitor_thread = MonitorThread(
+                monitor_dir,
+                diagnosis_path=args.diagnosis_out,
+                straggler_after=args.straggler_after,
+                stall_after=args.stall_after,
+                on_diagnosis=lambda d: print(
+                    f"[monitor] {d.status}: {d.message}", file=sys.stderr),
+            ).start()
+            if registry is not None:
+                registry.update(run_id, monitor_dir=str(monitor_dir))
+            print(f"monitoring -> {monitor_dir} "
+                  f"(watch with: repro watch {run_id or monitor_dir})",
+                  file=sys.stderr)
+        status, res = "failed", None
+        try:
+            if args.engine == "decentralized":
+                replicas = run_decentralized(
+                    lik.parts, lik.taxa, start_newick, n_ranks=args.ranks,
+                    config=config, dist_kind=args.dist, fault_plan=plan,
+                    detect_timeout=args.detect_timeout,
+                    sanitize=args.sanitize,
+                    monitor_dir=monitor_dir,
+                    beat_interval=args.beat_interval,
                 )
-        else:
-            res = run_forkjoin(
-                lik.parts, lik.taxa, start_newick, n_ranks=args.ranks,
-                config=config, dist_kind=args.dist, fault_plan=plan,
-                detect_timeout=args.detect_timeout,
-            )
-            if res.restarts:
-                print(f"worker failure: restarted {res.restarts} time(s) "
-                      f"from checkpoint", file=sys.stderr)
+                survivors = [r for r in replicas if r is not None]
+                if not survivors:
+                    raise SystemExit("no surviving replicas")
+                res = survivors[0]
+                if res.failed_ranks:
+                    print(
+                        f"rank(s) {list(res.failed_ranks)} failed; recovered "
+                        f"in-run ({res.recoveries} recovery round(s), "
+                        f"{len(survivors)} survivor(s))",
+                        file=sys.stderr,
+                    )
+            else:
+                res = run_forkjoin(
+                    lik.parts, lik.taxa, start_newick, n_ranks=args.ranks,
+                    config=config, dist_kind=args.dist, fault_plan=plan,
+                    detect_timeout=args.detect_timeout,
+                    monitor_dir=monitor_dir,
+                    beat_interval=args.beat_interval,
+                )
+                if res.restarts:
+                    print(f"worker failure: restarted {res.restarts} time(s) "
+                          f"from checkpoint", file=sys.stderr)
+            status = "completed"
+        finally:
+            diagnosis = None
+            if monitor_thread is not None:
+                monitor_thread.poll_once()  # final state, post-join
+                stall = monitor_thread.stop()
+                if stall is not None:
+                    diagnosis = stall.to_dict()
+                    print(f"[monitor] diagnosis: {stall.message} "
+                          f"(written to {monitor_thread.diagnosis_path})",
+                          file=sys.stderr)
+            if registry is not None:
+                result = (
+                    {
+                        "logl": res.logl,
+                        "iterations": res.iterations,
+                        "recoveries": res.recoveries,
+                        "failed_ranks": list(res.failed_ranks),
+                        "restarts": res.restarts,
+                    }
+                    if res is not None else None
+                )
+                registry.update(run_id, status=status, result=result,
+                                diagnosis=diagnosis)
         newick = res.newick
         if args.output:
             Path(args.output).write_text(newick + "\n")
@@ -167,6 +250,11 @@ def _cmd_infer(args: argparse.Namespace) -> int:
               file=sys.stderr)
     result = hill_climb(backend, config)
     newick = write_newick(tree)
+    if registry is not None:
+        registry.update(run_id, status="completed", result={
+            "logl": result.logl, "iterations": result.iterations,
+            "converged": result.converged,
+        })
     if args.output:
         Path(args.output).write_text(newick + "\n")
     else:
@@ -392,6 +480,29 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
         Path(args.bench_out).write_text(json.dumps(bench, indent=2) + "\n")
         print(f"bench record written to {args.bench_out}", file=sys.stderr)
+    if not args.no_register:
+        # every profile run feeds the registry's rolling baseline pool,
+        # so `repro regress` has history without any CI bookkeeping
+        from repro.obs.registry import RunRegistry
+
+        registry = RunRegistry()
+        run_id = registry.register({
+            "command": "profile",
+            "engine": args.engine,
+            "ranks": args.ranks,
+            "dist": args.dist,
+            "seed": args.seed,
+            "alignment": str(args.alignment),
+            "config": {"iterations": args.iterations,
+                       "radius": args.radius, "model": args.model},
+            "status": "completed",
+            "result": {"logl": {e: v["logl"]
+                                for e, v in bench["engines"].items()}},
+            "trace_dir": str(trace_root),
+        })
+        registry.record_bench(run_id, bench)
+        print(f"run {run_id} registered with bench snapshot under "
+              f"{registry.root}", file=sys.stderr)
     if args.reconcile and not all_within:
         print("reconciliation failed: measured bytes deviate from the "
               "comm model beyond tolerance", file=sys.stderr)
@@ -489,6 +600,17 @@ def _cmd_regress(args: argparse.Namespace) -> int:
         hits = sorted(glob.glob(pattern))
         paths.extend(hits if hits else
                      ([pattern] if Path(pattern).exists() else []))
+    if not args.baselines:
+        # default baseline pool: the committed bench trajectory plus
+        # every bench snapshot in the run registry
+        from repro.obs.registry import RunRegistry
+
+        paths.extend(sorted(glob.glob("benchmarks/BENCH_*.json")))
+        paths.extend(str(p) for p in RunRegistry().bench_paths())
+        if paths:
+            print(f"using {len(paths)} default baseline(s) "
+                  f"(benchmarks/BENCH_*.json + run registry)",
+                  file=sys.stderr)
     # never gate a record against itself
     cur_path = Path(args.current).resolve()
     paths = [p for p in paths if Path(p).resolve() != cur_path]
@@ -512,6 +634,78 @@ def _cmd_regress(args: argparse.Namespace) -> int:
     if report.failed:
         print("performance regression detected", file=sys.stderr)
     return report.exit_code
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Live per-rank table over a monitored run's heartbeat channel."""
+    from repro.obs.monitor import resolve_monitor_dir, watch_loop
+
+    try:
+        monitor_dir = resolve_monitor_dir(args.run)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc)) from exc
+    diag = watch_loop(
+        monitor_dir,
+        interval=args.interval,
+        once=args.once,
+        max_polls=args.polls,
+        straggler_after=args.straggler_after,
+        stall_after=args.stall_after,
+        beat_timeout=args.beat_timeout,
+    )
+    return 1 if diag.is_stall else 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    """Query the persistent run registry."""
+    import json
+
+    from repro.obs.registry import (
+        RunRegistry,
+        compare_runs,
+        format_compare_table,
+    )
+
+    registry = RunRegistry(args.root)
+    if args.runs_command == "list":
+        manifests = registry.list_runs()
+        if not manifests:
+            print(f"no runs under {registry.root}", file=sys.stderr)
+            return 0
+        header = (f"{'run id':<24} {'created':<20} {'cmd':<8} "
+                  f"{'engine':<14} {'ranks':>5} {'status':<10} "
+                  f"{'logL':>14} {'bench':>5}")
+        print(header)
+        print("-" * len(header))
+        for m in manifests:
+            result = m.get("result") or {}
+            logl = result.get("logl")
+            logl_s = f"{logl:.4f}" if isinstance(logl, (int, float)) else "-"
+            has_bench = "yes" if m.get("bench_path") else "-"
+            print(f"{m.get('run_id', '?'):<24} "
+                  f"{m.get('created', '?'):<20} "
+                  f"{m.get('command', '?'):<8} "
+                  f"{m.get('engine', '?'):<14} "
+                  f"{m.get('ranks', '?'):>5} "
+                  f"{m.get('status', '?'):<10} "
+                  f"{logl_s:>14} {has_bench:>5}")
+        return 0
+    if args.runs_command == "show":
+        try:
+            manifest = registry.load(registry.resolve(args.run))
+        except FileNotFoundError as exc:
+            raise SystemExit(str(exc)) from exc
+        print(json.dumps(manifest, indent=2))
+        return 0
+    # compare
+    try:
+        comparison = compare_runs(registry, args.a, args.b)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(format_compare_table(comparison))
+    if args.out:
+        Path(args.out).write_text(json.dumps(comparison, indent=2) + "\n")
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -577,6 +771,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.obs.monitor import (
+        DEFAULT_BEAT_TIMEOUT,
+        DEFAULT_STALL_AFTER,
+        DEFAULT_STRAGGLER_AFTER,
+    )
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ExaML-paper reproduction: likelihood-based "
@@ -611,7 +811,8 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--dist", choices=["cyclic", "mps"], default="cyclic",
                        help="data distribution for distributed engines")
     infer.add_argument("--inject-failure", metavar="RANK@CALL[:MODE]",
-                       help="kill (or :hang) ranks at deterministic comm-call "
+                       help="kill (or :hang, or :slow — a transient "
+                            "straggler) ranks at deterministic comm-call "
                             "numbers, e.g. '2@40' or '1@25:hang'; the "
                             "decentralized engine recovers in-run, fork-join "
                             "restarts from the last checkpoint")
@@ -629,6 +830,34 @@ def build_parser() -> argparse.ArgumentParser:
                             "hash) and fail fast with the first diverging "
                             "call on replica divergence; decentralized "
                             "engine only")
+    infer.add_argument("--monitor", action="store_true",
+                       help="run the live telemetry side channel: per-rank "
+                            "heartbeats + streamed progress events, with a "
+                            "parent-side monitor diagnosing hung ranks / "
+                            "stragglers / global stalls during the run "
+                            "(distributed engines only)")
+    infer.add_argument("--monitor-dir", metavar="DIR",
+                       help="heartbeat/progress directory (default: the "
+                            "run's registry directory)")
+    infer.add_argument("--beat-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="seconds between heartbeat rewrites "
+                            "(default 0.2)")
+    infer.add_argument("--straggler-after", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="no state change for this long flags a rank "
+                            "as a straggler (default 1.0)")
+    infer.add_argument("--stall-after", type=float, default=3.0,
+                       metavar="SECONDS",
+                       help="... and for this long, a stall; keep under "
+                            "--detect-timeout so diagnosis precedes "
+                            "detection (default 3.0)")
+    infer.add_argument("--diagnosis-out", metavar="PATH",
+                       help="write the first stall diagnosis JSON here "
+                            "(default: <monitor-dir>/diagnosis.json)")
+    infer.add_argument("--no-register", action="store_true",
+                       help="skip writing a manifest to the run registry "
+                            "(.repro_runs/ or $REPRO_RUNS_DIR)")
     infer.set_defaults(func=_cmd_infer)
 
     sim = sub.add_parser("simulate", help="generate a benchmark alignment")
@@ -710,6 +939,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print a per-rank attribution table (calls, "
                            "bytes, compute/wait/transfer shares) instead "
                            "of requiring the Chrome trace viewer")
+    prof.add_argument("--no-register", action="store_true",
+                      help="skip writing a manifest (and the bench "
+                           "snapshot) to the run registry")
     prof.set_defaults(func=_cmd_profile)
 
     scale = sub.add_parser(
@@ -806,6 +1038,60 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("-v", "--verbose", action="store_true",
                       help="also list suppressed and baselined findings")
     lint.set_defaults(func=_cmd_lint)
+
+    watch = sub.add_parser(
+        "watch",
+        help="live per-rank health table for a monitored run: phase, "
+             "iteration, logL, collective call index, and a stall "
+             "diagnosis (hung rank / straggler / global stall)")
+    watch.add_argument("run",
+                       help="run id, unique id prefix, 'latest', a run "
+                            "directory, or a monitor directory")
+    watch.add_argument("--interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="seconds between table refreshes "
+                            "(default 1.0)")
+    watch.add_argument("--once", action="store_true",
+                       help="print one table and exit")
+    watch.add_argument("--polls", type=int, default=None, metavar="N",
+                       help="stop after N refreshes (default: until the "
+                            "run reaches a terminal phase)")
+    watch.add_argument("--straggler-after", type=float,
+                       default=DEFAULT_STRAGGLER_AFTER, metavar="SECONDS",
+                       help="no state change for this long flags a "
+                            "straggler (default %(default)s)")
+    watch.add_argument("--stall-after", type=float,
+                       default=DEFAULT_STALL_AFTER, metavar="SECONDS",
+                       help="... and for this long, a stall "
+                            "(default %(default)s)")
+    watch.add_argument("--beat-timeout", type=float,
+                       default=DEFAULT_BEAT_TIMEOUT, metavar="SECONDS",
+                       help="a heartbeat older than this means the rank "
+                            "process is dead (default %(default)s)")
+    watch.set_defaults(func=_cmd_watch)
+
+    runs = sub.add_parser(
+        "runs",
+        help="the persistent run registry (.repro_runs/): list past "
+             "runs, show a manifest, compare two runs' bench metrics")
+    runs.add_argument("--root", metavar="DIR",
+                      help="registry root (default: $REPRO_RUNS_DIR or "
+                           "./.repro_runs)")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="list registered runs")
+    runs_list.set_defaults(func=_cmd_runs)
+    runs_show = runs_sub.add_parser(
+        "show", help="print a run's manifest as JSON")
+    runs_show.add_argument("run",
+                           help="run id, unique prefix, or 'latest'")
+    runs_show.set_defaults(func=_cmd_runs)
+    runs_cmp = runs_sub.add_parser(
+        "compare", help="bench-metric delta between two runs")
+    runs_cmp.add_argument("a", help="baseline run id/prefix/'latest'")
+    runs_cmp.add_argument("b", help="candidate run id/prefix/'latest'")
+    runs_cmp.add_argument("--out", metavar="PATH",
+                          help="also write the comparison as JSON here")
+    runs_cmp.set_defaults(func=_cmd_runs)
     return parser
 
 

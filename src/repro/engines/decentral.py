@@ -215,4 +215,10 @@ def recover_decentralized(
     new_lik = PartitionedLikelihood(
         backend.lik.tree, new_parts, backend.lik.taxa
     )
-    return DecentralizedBackend(new_comm, new_lik), report
+    new_backend = DecentralizedBackend(new_comm, new_lik)
+    # observability attachments survive the failure with the search state
+    for attr in ("tracer", "progress"):
+        value = getattr(backend, attr, None)
+        if value is not None:
+            setattr(new_backend, attr, value)
+    return new_backend, report

@@ -346,6 +346,7 @@ def forkjoin_worker(
     n_branch_sets: int,
     tracer=None,
     metrics=None,
+    progress=None,
 ) -> None:
     """Worker loop: execute master commands on local data until STOP.
 
@@ -353,6 +354,9 @@ def forkjoin_worker(
     ``node_taxon`` maps the master tree's leaf node ids to global taxon
     rows (sent once during setup).  With a ``tracer``, the lock-step
     executor emits kernel spans and op counters (see :mod:`repro.obs`).
+    With a ``progress`` reporter, the worker's heartbeat state counts
+    executed commands (as ``iteration``) so the live monitor can tell a
+    worker that stopped draining commands from one that never got any.
     """
     from repro.engines.executor import DescriptorExecutor
     from repro.model.rates import PerSiteRates as _PSR
@@ -363,15 +367,26 @@ def forkjoin_worker(
         executor = TracedExecutor(parts, node_taxon, tracer, metrics)
     else:
         executor = DescriptorExecutor(parts, node_taxon)
+    if progress is None:
+        from repro.obs.progress import NULL_PROGRESS
+
+        progress = NULL_PROGRESS
+    progress.status(phase="worker")
     branch_sets = np.array([p.branch_set for p in parts], dtype=np.intp)
     handle: list[np.ndarray] | None = None
     root_edge: tuple[int, int] | None = None
     psr_tables: dict[int, list[np.ndarray]] = {}
+    n_commands = 0
 
     while True:
         msg = comm.bcast(None, root=0, tag="command")
         cmd = msg[0]
+        n_commands += 1
+        if n_commands % 64 == 0:
+            # cheap liveness signal: two attribute writes per 64 commands
+            progress.status(iteration=n_commands)
         if cmd == _CMD_STOP:
+            progress.status(iteration=n_commands)
             return
         if cmd in (_CMD_EVALUATE, _CMD_BRANCH_SETUP, _CMD_TRAVERSE):
             _, wire, u_id, v_id, t_root = msg

@@ -35,6 +35,7 @@ from repro.engines.decentral import DecentralizedBackend, recover_decentralized
 from repro.engines.forkjoin import ForkJoinMasterBackend, forkjoin_worker
 from repro.errors import CommError, RankFailureError
 from repro.likelihood.partitioned import PartitionData, PartitionedLikelihood
+from repro.obs.progress import NULL_PROGRESS
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.par.comm import Comm
 from repro.par.faultcomm import FaultInjectingComm, FaultPlan
@@ -68,6 +69,10 @@ class DistributedResult:
     metrics: dict[str, Any] = field(default_factory=dict)
     #: Path of this rank's JSONL trace stream (None when tracing is off).
     trace_path: str | None = None
+    #: Heartbeat/progress directory of the run (None when unmonitored).
+    monitor_dir: str | None = None
+    #: Path of this rank's progress-event JSONL (None when unmonitored).
+    progress_path: str | None = None
 
 
 def _rebuild_tree(newick: str, n_branch_sets: int) -> Tree:
@@ -102,6 +107,55 @@ def _prepare_trace_dir(trace_dir: str | Path | None) -> str | None:
     path = Path(trace_dir)
     path.mkdir(parents=True, exist_ok=True)
     return str(path)
+
+
+def _make_telemetry(comm: Comm, payload: dict[str, Any], world_rank: int):
+    """Build the live-telemetry side channel for one rank.
+
+    Returns ``(comm, heartbeat_writer, progress_reporter)``.  When
+    ``monitor_dir`` is unset this is the zero-cost path: no wrapper, no
+    thread, no files — just the shared :data:`NULL_PROGRESS`.
+
+    The monitored wrapper must sit *inside* fault injection (see the
+    call sites): an injected hang then fires before the heartbeat state
+    records the call, so the hung rank observably never *entered* call
+    ``K`` while its peers freeze *inside* ``K`` — the asymmetry
+    :func:`repro.obs.monitor.diagnose` keys on.  It also sits *outside*
+    the sanitizer, whose control rounds bypass it, keeping the
+    heartbeat call numbering aligned with the injector's.
+    """
+    monitor_dir = payload.get("monitor_dir")
+    if not monitor_dir:
+        return comm, None, NULL_PROGRESS
+    from repro.obs.heartbeat import (
+        DEFAULT_BEAT_INTERVAL,
+        HeartbeatState,
+        HeartbeatWriter,
+        MonitoredComm,
+    )
+    from repro.obs.progress import ProgressReporter, ProgressStream, progress_path
+
+    state = HeartbeatState(world_rank)
+    comm = MonitoredComm(comm, state)
+    stream = ProgressStream(progress_path(monitor_dir, world_rank),
+                            world_rank)
+    reporter = ProgressReporter(state, stream)
+    writer = HeartbeatWriter(
+        monitor_dir, state,
+        interval=payload.get("beat_interval") or DEFAULT_BEAT_INTERVAL,
+    ).start()
+    return comm, writer, reporter
+
+
+def _close_telemetry(writer, progress, ok: bool) -> None:
+    """Final beat + stream close; terminal phase tells the monitor (and
+    `repro watch`) whether the rank finished or unwound on an error."""
+    if writer is None:
+        return
+    final = "done" if ok else "failed"
+    progress.event("run_end", ok=ok)
+    progress.close(final_phase=final)
+    writer.stop(final_phase=final)
 
 
 def _make_obs(payload: dict[str, Any], world_rank: int):
@@ -162,10 +216,9 @@ def _obs_snapshot(metrics, tracer) -> dict[str, Any]:
 def _decentral_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult:
     world0 = comm.rank  # original world rank: names the trace stream
     tracer, metrics = _make_obs(payload, world0)
-    comm = _wrap_tracing(
-        _maybe_inject(_maybe_sanitize(comm, payload), payload),
-        tracer, metrics,
-    )
+    comm, hb_writer, progress = _make_telemetry(
+        _maybe_sanitize(comm, payload), payload, world0)
+    comm = _wrap_tracing(_maybe_inject(comm, payload), tracer, metrics)
     tree = _rebuild_tree(payload["newick"], payload["n_branch_sets"])
     local_parts = split_local_data(
         payload["parts"], comm.rank, comm.size, payload["dist_kind"]
@@ -173,9 +226,13 @@ def _decentral_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult:
     lik = PartitionedLikelihood(tree, local_parts, payload["taxa"])
     backend = DecentralizedBackend(comm, lik)
     backend.tracer = tracer
+    backend.progress = progress
+    progress.event("run_start", engine="decentralized", ranks=comm.size,
+                   dist=payload["dist_kind"])
 
     all_failed: list[int] = []
     recoveries = 0
+    ok = False
     try:
         while True:
             try:
@@ -185,10 +242,12 @@ def _decentral_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult:
                 # Section V, live: agree → shrink → redistribute → resume.
                 # The tree and model in `backend` are this replica's full
                 # copy of the search state; only the data share is rebuilt.
+                failed_now = sorted(int(r) for r in exc.failed_ranks)
                 tracer.instant(
-                    "rank_failure", kind="recovery",
-                    failed=sorted(int(r) for r in exc.failed_ranks),
+                    "rank_failure", kind="recovery", failed=failed_now,
                 )
+                progress.event("rank_failure", failed=failed_now)
+                progress.status(phase="recover", in_collective=False)
                 with tracer.span("recover", kind="recovery"):
                     backend, report = recover_decentralized(
                         backend, exc.failed_ranks, payload["parts"],
@@ -202,12 +261,21 @@ def _decentral_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult:
                 all_failed.extend(comm.world_ranks(report.failed_ranks))
                 comm = backend.comm
                 backend.tracer = tracer
+                backend.progress = progress
                 recoveries += 1
                 if metrics is not None:
                     metrics.counter("recovery.rounds").inc()
                 tracer.instant("resume", kind="recovery")
+                progress.event(
+                    "recovery", failed=sorted(set(all_failed)),
+                    survivors=report.survivors,
+                    bytes_moved=report.bytes_moved, round=recoveries,
+                )
+                progress.status(phase="resume", recoveries=recoveries)
+        ok = True
     finally:
         trace_path = _flush_trace(tracer, payload, world0)
+        _close_telemetry(hb_writer, progress, ok)
 
     return DistributedResult(
         logl=result.logl,
@@ -219,6 +287,9 @@ def _decentral_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult:
         calls_by_tag=dict(getattr(comm, "calls_by_tag", {})),
         metrics=_obs_snapshot(metrics, tracer),
         trace_path=trace_path,
+        monitor_dir=payload.get("monitor_dir"),
+        progress_path=(str(progress.stream.path)
+                       if progress.stream is not None else None),
     )
 
 
@@ -235,6 +306,8 @@ def run_decentralized(
     trace_dir: str | Path | None = None,
     trace_capacity: int | None = None,
     sanitize: bool = False,
+    monitor_dir: str | Path | None = None,
+    beat_interval: float | None = None,
 ) -> list[DistributedResult]:
     """Run the ExaML scheme on ``n_ranks`` real processes.
 
@@ -253,6 +326,14 @@ def run_decentralized(
     counters, see :mod:`repro.obs`) and writes
     ``trace_dir/trace-rank<R>.jsonl`` before returning; each surviving
     result carries its metrics snapshot and trace path.
+
+    With ``monitor_dir``, every rank additionally runs the live
+    telemetry side channel (:mod:`repro.obs.heartbeat` /
+    :mod:`repro.obs.progress`): a heartbeat status file rewritten every
+    ``beat_interval`` seconds plus a streamed progress-event JSONL, so
+    a parent-side :class:`~repro.obs.monitor.Monitor` (or ``repro
+    watch``) can observe — and diagnose stalls in — the run while it
+    executes.
     """
     payload = {
         "parts": parts,
@@ -265,6 +346,8 @@ def run_decentralized(
         "trace_dir": _prepare_trace_dir(trace_dir),
         "trace_capacity": trace_capacity,
         "sanitize": sanitize,
+        "monitor_dir": _prepare_trace_dir(monitor_dir),
+        "beat_interval": beat_interval,
     }
     return run_mpi(
         n_ranks,
@@ -278,18 +361,23 @@ def run_decentralized(
 def _forkjoin_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult | None:
     world0 = comm.rank
     tracer, metrics = _make_obs(payload, world0)
+    comm, hb_writer, progress = _make_telemetry(comm, payload, world0)
     comm = _wrap_tracing(_maybe_inject(comm, payload), tracer, metrics)
     local_parts = split_local_data(
         payload["parts"], comm.rank, comm.size, payload["dist_kind"]
     )
     # Flush in a finally: a RankFailureError unwinding a collective must
     # still leave this rank's trace (with the error-flagged span) on disk.
+    ok = False
     try:
         if comm.rank == 0:
             tree = _rebuild_tree(payload["newick"], payload["n_branch_sets"])
             lik = PartitionedLikelihood(tree, local_parts, payload["taxa"])
             backend = ForkJoinMasterBackend(comm, lik)
             backend.tracer = tracer
+            backend.progress = progress
+            progress.event("run_start", engine="forkjoin", ranks=comm.size,
+                           dist=payload["dist_kind"])
             resume_from = payload.get("resume_from")
             if resume_from:
                 from repro.model.rates import DiscreteGamma
@@ -314,6 +402,7 @@ def _forkjoin_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult | N
                      for p in range(lik.n_partitions)}
                 )
             result = hill_climb(backend, payload["config"])
+            ok = True
             return DistributedResult(
                 logl=result.logl,
                 newick=write_newick(tree, lengths=False),
@@ -322,14 +411,22 @@ def _forkjoin_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult | N
                 restarts=payload.get("restarts", 0),
                 calls_by_tag=dict(getattr(comm, "calls_by_tag", {})),
                 metrics=_obs_snapshot(metrics, tracer),
+                monitor_dir=payload.get("monitor_dir"),
+                progress_path=(str(progress.stream.path)
+                               if progress.stream is not None else None),
             )
+        progress.event("run_start", engine="forkjoin", ranks=comm.size,
+                       dist=payload["dist_kind"])
         forkjoin_worker(
             comm, local_parts, payload["node_taxon"],
             payload["n_branch_sets"], tracer=tracer, metrics=metrics,
+            progress=progress,
         )
+        ok = True
         return None
     finally:
         _flush_trace(tracer, payload, world0)
+        _close_telemetry(hb_writer, progress, ok)
 
 
 def run_forkjoin(
@@ -345,6 +442,8 @@ def run_forkjoin(
     max_restarts: int = 1,
     trace_dir: str | Path | None = None,
     trace_capacity: int | None = None,
+    monitor_dir: str | Path | None = None,
+    beat_interval: float | None = None,
 ) -> DistributedResult:
     """Run the RAxML-Light scheme on ``n_ranks`` real processes.
 
@@ -377,6 +476,8 @@ def run_forkjoin(
         "fault_plan": fault_plan,
         "trace_dir": _prepare_trace_dir(trace_dir),
         "trace_capacity": trace_capacity,
+        "monitor_dir": _prepare_trace_dir(monitor_dir),
+        "beat_interval": beat_interval,
     }
     restarts = 0
     while True:

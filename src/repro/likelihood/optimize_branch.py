@@ -58,8 +58,10 @@ def optimize_branch(
     t = np.clip(t, BL_MIN, BL_MAX)
     active = np.ones(n_sets, dtype=bool)
     step_cap = np.full(n_sets, 1.0)  # doubling-walk step for non-concave spots
+    iters_run = 0
 
     for _ in range(max_iter):
+        iters_run += 1
         d1p, d2p = backend.derivatives(handle, t)
         d1 = _aggregate_by_set(d1p, branch_sets, n_sets)
         d2 = _aggregate_by_set(d2p, branch_sets, n_sets)
@@ -88,6 +90,12 @@ def optimize_branch(
             break
 
     backend.set_branch_length(u, v, t)
+    # Live telemetry: each Newton iteration is one parallel region, so
+    # the per-rank iteration count is a direct progress signal (see
+    # repro.obs.progress).  Unmonitored backends skip this entirely.
+    progress = getattr(backend, "progress", None)
+    if progress is not None and progress.enabled:
+        progress.add_newton(iters_run)
     return t
 
 

@@ -20,7 +20,16 @@ multiprocess runs and closes the loop:
 * :mod:`repro.obs.scaling` — the measured scaling harness behind
   ``repro scale``;
 * :mod:`repro.obs.regress` — performance regression gating over
-  ``BENCH_*.json`` records.
+  ``BENCH_*.json`` records;
+* :mod:`repro.obs.heartbeat` — per-rank heartbeat side channel (status
+  files rewritten by a background thread, decoupled from the
+  collective path) plus the :class:`MonitoredComm` wrapper;
+* :mod:`repro.obs.progress` — structured in-run progress events
+  streamed as JSONL while the search executes;
+* :mod:`repro.obs.monitor` — parent-side stall diagnosis (hung rank vs
+  slow straggler vs global stall) and the ``repro watch`` table;
+* :mod:`repro.obs.registry` — the persistent ``.repro_runs/`` run
+  registry behind ``repro runs list|show|compare``.
 
 See ``docs/OBSERVABILITY.md`` for the workflow, and ``repro profile`` /
 ``repro scale`` / ``repro regress`` on the CLI for the one-command
@@ -47,6 +56,15 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.heartbeat import (
+    DEFAULT_BEAT_INTERVAL,
+    HeartbeatState,
+    HeartbeatWriter,
+    MonitoredComm,
+    heartbeat_path,
+    read_heartbeat,
+    read_heartbeats,
+)
 from repro.obs.instrument import TracedExecutor, TracingComm
 from repro.obs.metrics import (
     Counter,
@@ -54,6 +72,26 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     merge_snapshots,
+)
+from repro.obs.monitor import (
+    DEFAULT_BEAT_TIMEOUT,
+    DEFAULT_STALL_AFTER,
+    DEFAULT_STRAGGLER_AFTER,
+    Diagnosis,
+    Monitor,
+    MonitorThread,
+    RankHealth,
+    diagnose,
+    format_watch_table,
+    watch_loop,
+)
+from repro.obs.progress import (
+    NULL_PROGRESS,
+    NullProgress,
+    ProgressReporter,
+    ProgressStream,
+    progress_path,
+    read_progress,
 )
 from repro.obs.reconcile import (
     DECENTRALIZED_REL_TOL,
@@ -63,6 +101,12 @@ from repro.obs.reconcile import (
     modeled_byte_totals,
     reconcile,
     reconcile_live_run,
+)
+from repro.obs.registry import (
+    RunRegistry,
+    compare_runs,
+    format_compare_table,
+    runs_root,
 )
 from repro.obs.regress import (
     GateReport,
@@ -117,4 +161,31 @@ __all__ = [
     "reconcile_live_run",
     "DECENTRALIZED_REL_TOL",
     "FORKJOIN_REL_TOL",
+    "DEFAULT_BEAT_INTERVAL",
+    "HeartbeatState",
+    "HeartbeatWriter",
+    "MonitoredComm",
+    "heartbeat_path",
+    "read_heartbeat",
+    "read_heartbeats",
+    "NULL_PROGRESS",
+    "NullProgress",
+    "ProgressReporter",
+    "ProgressStream",
+    "progress_path",
+    "read_progress",
+    "DEFAULT_BEAT_TIMEOUT",
+    "DEFAULT_STALL_AFTER",
+    "DEFAULT_STRAGGLER_AFTER",
+    "Diagnosis",
+    "Monitor",
+    "MonitorThread",
+    "RankHealth",
+    "diagnose",
+    "format_watch_table",
+    "watch_loop",
+    "RunRegistry",
+    "compare_runs",
+    "format_compare_table",
+    "runs_root",
 ]

@@ -200,7 +200,10 @@ def snapshot_to_prom(
     become ``counter`` samples, gauges ``gauge`` samples, and each
     histogram's streaming summary becomes ``<name>_count`` /
     ``<name>_sum`` plus ``_min``/``_max`` gauges — enough for rate and
-    mean queries without storing raw samples.  ``labels`` (e.g.
+    mean queries without storing raw samples.  A histogram carrying
+    per-bucket counts additionally renders as a genuine Prometheus
+    histogram: cumulative ``<name>_bucket{le="..."}`` samples closed by
+    the ``le="+Inf"`` total.  ``labels`` (e.g.
     ``{"rank": "2", "engine": "decentralized"}``) are attached to every
     sample, so per-rank snapshots can be scraped side by side from a
     long-running launcher.
@@ -224,7 +227,28 @@ def snapshot_to_prom(
         lines.append(f"{pname}{label_str} {_prom_value(value)}")
     for name, hist in sorted(snapshot.get("histograms", {}).items()):
         base = _prom_name(name, prefix)
-        lines.append(f"# TYPE {base} summary")
+        buckets = hist.get("buckets")
+        if buckets:
+            # bucketed histograms render as a real Prometheus histogram:
+            # cumulative counts per upper edge, closed by le="+Inf"
+            lines.append(f"# TYPE {base} histogram")
+            cumulative = 0
+            for edge in sorted(buckets, key=float):
+                cumulative += buckets[edge]
+                le = _prom_value(float(edge))
+                if labels:
+                    bl = label_str[:-1] + f',le="{le}"}}'
+                else:
+                    bl = f'{{le="{le}"}}'
+                lines.append(f"{base}_bucket{bl} {cumulative}")
+            if labels:
+                bl = label_str[:-1] + ',le="+Inf"}'
+            else:
+                bl = '{le="+Inf"}'
+            lines.append(f"{base}_bucket{bl} "
+                         f"{_prom_value(hist.get('count', 0))}")
+        else:
+            lines.append(f"# TYPE {base} summary")
         lines.append(f"{base}_count{label_str} "
                      f"{_prom_value(hist.get('count', 0))}")
         lines.append(f"{base}_sum{label_str} "

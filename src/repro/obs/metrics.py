@@ -50,12 +50,26 @@ class Gauge:
 
 @dataclass
 class Histogram:
-    """Streaming summary of an observed distribution (no raw samples)."""
+    """Streaming summary of an observed distribution (no raw samples).
+
+    With ``bounds`` (sorted upper edges), per-bucket counts are kept as
+    well — values above the last edge land in the implicit ``+Inf``
+    overflow tracked by ``count`` itself.  Bucketless histograms stay
+    summary-only and their dict form is unchanged (no ``buckets`` key),
+    so existing bench records and dashboards keep parsing.
+    """
 
     count: int = 0
     total: float = 0.0
     min: float = float("inf")
     max: float = float("-inf")
+    bounds: tuple[float, ...] = ()
+    bucket_counts: dict[float, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.bounds = tuple(sorted(float(b) for b in self.bounds))
+        if self.bounds and not self.bucket_counts:
+            self.bucket_counts = {b: 0 for b in self.bounds}
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -65,17 +79,26 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        for bound in self.bounds:
+            if value <= bound:
+                self.bucket_counts[bound] += 1
+                break
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def to_dict(self) -> dict[str, float]:
+    def to_dict(self) -> dict[str, Any]:
         if not self.count:
-            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
-                    "mean": 0.0}
-        return {"count": self.count, "total": self.total, "min": self.min,
-                "max": self.max, "mean": self.mean}
+            out: dict[str, Any] = {"count": 0, "total": 0.0, "min": 0.0,
+                                   "max": 0.0, "mean": 0.0}
+        else:
+            out = {"count": self.count, "total": self.total,
+                   "min": self.min, "max": self.max, "mean": self.mean}
+        if self.bounds:
+            out["buckets"] = {repr(b): self.bucket_counts[b]
+                              for b in self.bounds}
+        return out
 
 
 @dataclass
@@ -100,11 +123,13 @@ class MetricsRegistry:
             metric = self.gauges[name] = Gauge()
             return metric
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str,
+                  bounds: tuple[float, ...] = ()) -> Histogram:
+        """Get or create; ``bounds`` only applies on first creation."""
         try:
             return self.histograms[name]
         except KeyError:
-            metric = self.histograms[name] = Histogram()
+            metric = self.histograms[name] = Histogram(bounds=bounds)
             return metric
 
     def snapshot(self) -> dict[str, Any]:
@@ -136,6 +161,8 @@ def merge_snapshots(snapshots: list[dict[str, Any]]) -> dict[str, Any]:
                 continue
             if k not in hists:
                 hists[k] = dict(h)
+                if "buckets" in h:
+                    hists[k]["buckets"] = dict(h["buckets"])
             else:
                 acc = hists[k]
                 acc["count"] += h["count"]
@@ -143,4 +170,10 @@ def merge_snapshots(snapshots: list[dict[str, Any]]) -> dict[str, Any]:
                 acc["min"] = min(acc["min"], h["min"])
                 acc["max"] = max(acc["max"], h["max"])
                 acc["mean"] = acc["total"] / acc["count"]
+                if "buckets" in h:
+                    # union of edges: ranks may bucket the same metric
+                    # differently (or one side may be bucketless)
+                    merged = acc.setdefault("buckets", {})
+                    for edge, n in h["buckets"].items():
+                        merged[edge] = merged.get(edge, 0) + n
     return {"counters": counters, "gauges": gauges, "histograms": hists}

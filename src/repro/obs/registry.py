@@ -1,0 +1,222 @@
+"""Persistent run registry: every launch leaves a durable manifest.
+
+``.repro_runs/`` (or ``$REPRO_RUNS_DIR``) accumulates one directory per
+launch::
+
+    .repro_runs/
+      20260806-141503-12345/
+        manifest.json     # config, seed, engine, dist, result, paths
+        bench.json        # optional bench record (regress-compatible)
+
+The manifest is written at launch (``status: running``) and finalized at
+exit (``completed`` / ``failed`` plus the result), so a crashed or hung
+run is visible as such in ``repro runs list``.  Bench records stored via
+:meth:`RunRegistry.record_bench` use the same schema as ``BENCH_*.json``
+files, which makes the registry a rolling baseline pool: ``repro
+regress`` folds :meth:`RunRegistry.bench_paths` into its defaults, so
+the perf gate finds history without any CI bookkeeping.
+
+Wall-clock reads (run ids, created timestamps) are fine here: this is
+driver-side observability code, never executed inside a replica.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "RunRegistry",
+    "runs_root",
+    "compare_runs",
+    "format_compare_table",
+    "DEFAULT_ROOT_NAME",
+    "MANIFEST_FILENAME",
+    "BENCH_FILENAME",
+]
+
+DEFAULT_ROOT_NAME = ".repro_runs"
+MANIFEST_FILENAME = "manifest.json"
+BENCH_FILENAME = "bench.json"
+
+
+def runs_root(root: str | Path | None = None) -> Path:
+    """Resolve the registry root: explicit arg > $REPRO_RUNS_DIR > cwd."""
+    if root is not None:
+        return Path(root)
+    env = os.environ.get("REPRO_RUNS_DIR")
+    if env:
+        return Path(env)
+    return Path.cwd() / DEFAULT_ROOT_NAME
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class RunRegistry:
+    """Filesystem-backed registry of runs under one root directory."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = runs_root(root)
+
+    # -- writing ------------------------------------------------------- #
+    def new_run_id(self) -> str:
+        """Timestamped, collision-proof id (sortable by creation time)."""
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        base = f"{stamp}-{os.getpid()}"
+        run_id, n = base, 1
+        while (self.root / run_id).exists():
+            run_id = f"{base}-{n}"
+            n += 1
+        return run_id
+
+    def register(self, manifest: dict[str, Any]) -> str:
+        """Create a run directory and write the initial manifest."""
+        run_id = manifest.get("run_id") or self.new_run_id()
+        manifest = dict(manifest)
+        manifest["run_id"] = run_id
+        manifest.setdefault("created", time.strftime("%Y-%m-%dT%H:%M:%S"))
+        manifest.setdefault("status", "running")
+        self._write_manifest(run_id, manifest)
+        return run_id
+
+    def update(self, run_id: str, **fields: Any) -> dict[str, Any]:
+        """Merge fields into an existing manifest and rewrite it."""
+        manifest = self.load(run_id)
+        manifest.update(fields)
+        self._write_manifest(run_id, manifest)
+        return manifest
+
+    def record_bench(self, run_id: str, bench: dict[str, Any]) -> Path:
+        """Store a regress-compatible bench record alongside the run."""
+        path = self.root / run_id / BENCH_FILENAME
+        _atomic_write(path, json.dumps(bench, indent=2) + "\n")
+        self.update(run_id, bench_path=str(path),
+                    bench_metrics=bench.get("metrics", {}))
+        return path
+
+    def _write_manifest(self, run_id: str, manifest: dict[str, Any]) -> None:
+        run_dir = self.root / run_id
+        run_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write(run_dir / MANIFEST_FILENAME,
+                      json.dumps(manifest, indent=2, default=str) + "\n")
+
+    # -- reading ------------------------------------------------------- #
+    def run_ids(self) -> list[str]:
+        try:
+            names = sorted(os.listdir(self.root))
+        except OSError:
+            return []
+        return [n for n in names
+                if (self.root / n / MANIFEST_FILENAME).is_file()]
+
+    def load(self, run_id: str) -> dict[str, Any]:
+        path = self.root / run_id / MANIFEST_FILENAME
+        try:
+            return json.loads(path.read_text())
+        except OSError as exc:
+            raise FileNotFoundError(
+                f"no run {run_id!r} under {self.root}") from exc
+
+    def list_runs(self) -> list[dict[str, Any]]:
+        """All manifests, oldest first (ids sort by creation time)."""
+        out = []
+        for run_id in self.run_ids():
+            try:
+                out.append(self.load(run_id))
+            except (FileNotFoundError, json.JSONDecodeError):
+                continue
+        return out
+
+    def resolve(self, token: str) -> str:
+        """Resolve a full id, a unique prefix, or ``latest``."""
+        ids = self.run_ids()
+        if token == "latest":
+            if not ids:
+                raise FileNotFoundError(f"no runs under {self.root}")
+            return ids[-1]
+        if token in ids:
+            return token
+        hits = [i for i in ids if i.startswith(token)]
+        if len(hits) == 1:
+            return hits[0]
+        if not hits:
+            raise FileNotFoundError(
+                f"no run matching {token!r} under {self.root}")
+        raise FileNotFoundError(
+            f"ambiguous run prefix {token!r}: matches {hits}")
+
+    def bench_paths(self) -> list[Path]:
+        """Every stored bench record, oldest first — the rolling baseline
+        pool ``repro regress`` folds into its defaults."""
+        return [
+            self.root / run_id / BENCH_FILENAME
+            for run_id in self.run_ids()
+            if (self.root / run_id / BENCH_FILENAME).is_file()
+        ]
+
+
+def _run_bench_metrics(registry: RunRegistry,
+                       manifest: dict[str, Any]) -> dict[str, float]:
+    from repro.obs.regress import bench_metrics
+
+    metrics = manifest.get("bench_metrics")
+    if isinstance(metrics, dict) and metrics:
+        return {k: float(v) for k, v in metrics.items()
+                if isinstance(v, (int, float)) and not isinstance(v, bool)}
+    bench_path = registry.root / manifest["run_id"] / BENCH_FILENAME
+    try:
+        return bench_metrics(json.loads(bench_path.read_text()))
+    except (OSError, json.JSONDecodeError):
+        return {}
+
+
+def compare_runs(
+    registry: RunRegistry, token_a: str, token_b: str
+) -> dict[str, Any]:
+    """Bench-metric delta between two registered runs (b relative to a)."""
+    a = registry.load(registry.resolve(token_a))
+    b = registry.load(registry.resolve(token_b))
+    ma, mb = _run_bench_metrics(registry, a), _run_bench_metrics(registry, b)
+    rows = []
+    for name in sorted(set(ma) | set(mb)):
+        va, vb = ma.get(name), mb.get(name)
+        delta = (vb - va) if va is not None and vb is not None else None
+        ratio = (vb / va) if va not in (None, 0.0) and vb is not None else None
+        rows.append({"metric": name, "a": va, "b": vb,
+                     "delta": delta, "ratio": ratio})
+    return {
+        "a": {"run_id": a["run_id"], "status": a.get("status"),
+              "logl": (a.get("result") or {}).get("logl")},
+        "b": {"run_id": b["run_id"], "status": b.get("status"),
+              "logl": (b.get("result") or {}).get("logl")},
+        "rows": rows,
+    }
+
+
+def format_compare_table(comparison: dict[str, Any]) -> str:
+    a, b = comparison["a"], comparison["b"]
+    header = (f"{'metric':<44}{'a':>12}{'b':>12}{'delta':>12}{'ratio':>8}")
+    lines = [
+        f"a = {a['run_id']} ({a.get('status')})",
+        f"b = {b['run_id']} ({b.get('status')})",
+        header, "-" * len(header),
+    ]
+
+    def fmt(v: Any) -> str:
+        return "-" if v is None else f"{v:.4g}"
+
+    for row in comparison["rows"]:
+        ratio = "-" if row["ratio"] is None else f"{row['ratio']:.3f}"
+        lines.append(f"{row['metric']:<44}{fmt(row['a']):>12}"
+                     f"{fmt(row['b']):>12}{fmt(row['delta']):>12}"
+                     f"{ratio:>8}")
+    if not comparison["rows"]:
+        lines.append("(no bench metrics recorded for either run)")
+    return "\n".join(lines)

@@ -8,6 +8,10 @@ machinery can be exercised reproducibly:
   pipe ends; peers observe EOF, the fail-stop model of ULFM.
 * **hang** — the process goes silent for ``hang_seconds`` and then
   exits; peers can only detect this through bounded receive timeouts.
+* **slow** — the process sleeps ``hang_seconds`` once and then
+  *continues normally*: a transient straggler, not a failure.  Nothing
+  to detect or recover — the injection exists so the live monitor's
+  straggler-vs-stall classification can be exercised deterministically.
 
 Schedules are expressed as a :class:`FaultPlan`: either explicit
 ``rank @ call-number`` triggers (the call number counts that rank's
@@ -32,7 +36,15 @@ import numpy as np
 from repro.errors import CommError
 from repro.par.comm import Comm, ReduceOp
 
-__all__ = ["FaultSpec", "FaultPlan", "FaultInjectingComm", "FAULT_EXIT_CODE"]
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjectingComm",
+    "FAULT_EXIT_CODE",
+    "MODE_DIE",
+    "MODE_HANG",
+    "MODE_SLOW",
+]
 
 #: Exit code of a fault-injected death (distinguishes injected kills from
 #: genuine crashes in process tables / CI logs).
@@ -40,7 +52,8 @@ FAULT_EXIT_CODE = 77
 
 MODE_DIE = "die"
 MODE_HANG = "hang"
-_MODES = (MODE_DIE, MODE_HANG)
+MODE_SLOW = "slow"
+_MODES = (MODE_DIE, MODE_HANG, MODE_SLOW)
 
 
 @dataclass(frozen=True)
@@ -102,7 +115,8 @@ class FaultPlan:
         """Parse the CLI syntax ``RANK@CALL[:MODE][,RANK@CALL[:MODE]...]``.
 
         Examples: ``"2@40"`` (rank 2 dies at its 40th comm call),
-        ``"1@25:hang"`` (rank 1 goes silent), ``"0@10,3@80"``.
+        ``"1@25:hang"`` (rank 1 goes silent), ``"2@30:slow"`` (rank 2
+        straggles once, then continues), ``"0@10,3@80"``.
         """
         specs = []
         for item in text.split(","):
@@ -136,6 +150,11 @@ class FaultPlan:
 
 def _default_fire(mode: str, hang_seconds: float) -> None:
     """Actually take the process down (or silent)."""
+    if mode == MODE_SLOW:
+        # A transient straggler: stall this rank's compute once, then
+        # resume.  Peers just wait (no failure, nothing to recover).
+        time.sleep(hang_seconds)
+        return
     if mode == MODE_HANG:
         # Go silent: peers must detect this via receive timeouts.  The
         # eventual exit bounds how long an orchestrating ``run_mpi``

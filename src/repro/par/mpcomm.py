@@ -44,10 +44,29 @@ from typing import Any, Callable
 from repro.errors import CommError, RankFailureError
 from repro.par.comm import Comm, ReduceOp, apply_reduce, payload_nbytes
 
-__all__ = ["MPComm", "run_mpi", "DEFAULT_DETECT_TIMEOUT"]
+__all__ = [
+    "MPComm",
+    "run_mpi",
+    "DEFAULT_DETECT_TIMEOUT",
+    "DEPENDENT_WAIT_SCALE",
+]
 
 #: Default seconds a receive may stay silent before the peer is declared dead.
 DEFAULT_DETECT_TIMEOUT = 60.0
+
+#: Timeout multiplier for *dependent* waits — receives whose sender may
+#: itself be blocked detecting a third rank (the bcast half of an
+#: allreduce, a barrier release, agreement results, shrink marks).  Only
+#: *direct* waits on a rank's own contribution use ``detect_timeout``
+#: unscaled; everything downstream waits longer, so a genuine
+#: detection's failure notice always outruns a dependent waiter's own
+#: timeout.  Without the stagger, symmetric timeouts expire together and
+#: a waiter one hop from the hung rank can misdeclare the *relaying*
+#: rank dead — survivors then agree on disjoint failed sets and the
+#: mesh partitions (observed live via the heartbeat channel:
+#: ``repro infer --monitor`` showed rank 1 blaming rank 0 two
+#: milliseconds before rank 0's own notice arrived).
+DEPENDENT_WAIT_SCALE = 2.0
 
 _FAILURE = "__rank_failure__"
 _AGREE_REQ = "__agree_req__"
@@ -108,22 +127,26 @@ class MPComm(Comm):
         self.calls_by_tag[tag] += 1
 
     # -- failure-aware primitives ----------------------------------------- #
-    def _recv_raw(self, source: int, intercept: bool = True) -> Any:
+    def _recv_raw(self, source: int, intercept: bool = True,
+                  timeout_scale: float = 1.0) -> Any:
         """Receive from ``source`` with death/silence detection.
 
         Raises :class:`RankFailureError` on pipe EOF, on OS-level pipe
-        errors, on silence past ``detect_timeout``, and (when
-        ``intercept``) on an incoming peer failure notice.
+        errors, on silence past ``detect_timeout * timeout_scale``, and
+        (when ``intercept``) on an incoming peer failure notice.
+        Dependent waits pass ``timeout_scale=DEPENDENT_WAIT_SCALE`` so a
+        direct detection one hop away is always relayed (as a failure
+        notice on this very pipe) before this wait gives up.
         """
         conn = self._conns[source]
         try:
             if self._detect_timeout is not None and not conn.poll(
-                self._detect_timeout
+                self._detect_timeout * timeout_scale
             ):
                 raise RankFailureError(
                     {source},
                     f"rank {source} (world {self._world[source]}) silent for "
-                    f"{self._detect_timeout:.1f}s",
+                    f"{self._detect_timeout * timeout_scale:.1f}s",
                 )
             msg = conn.recv()
         except (EOFError, OSError) as exc:
@@ -187,7 +210,8 @@ class MPComm(Comm):
             except RankFailureError as exc:
                 self._abort_collective(exc.failed_ranks)
             return obj
-        return self._recv_raw(root)
+        # dependent wait: the root may be mid-detection of another rank
+        return self._recv_raw(root, timeout_scale=DEPENDENT_WAIT_SCALE)
 
     def reduce(
         self, obj: Any, op: ReduceOp = ReduceOp.SUM, root: int = 0,
@@ -224,7 +248,8 @@ class MPComm(Comm):
                 self._abort_collective(exc.failed_ranks)
         else:
             self._send_raw(0, (_BARRIER,))
-            self._recv_raw(0)
+            # dependent wait: rank 0 may be mid-detection of another rank
+            self._recv_raw(0, timeout_scale=DEPENDENT_WAIT_SCALE)
 
     def gather(self, obj: Any, root: int = 0, tag: str = "generic") -> list[Any] | None:
         if self._rank == root:
@@ -251,15 +276,22 @@ class MPComm(Comm):
             except RankFailureError as exc:
                 self._abort_collective(exc.failed_ranks)
             return objs[root]
-        return self._recv_raw(root)
+        # dependent wait: the root may be mid-detection of another rank
+        return self._recv_raw(root, timeout_scale=DEPENDENT_WAIT_SCALE)
 
     # -- ULFM-style recovery ---------------------------------------------- #
     def _recv_ctrl(self, source: int, want: str, known: set[int]) -> set[int]:
         """Receive a typed control message, discarding stale in-flight
         data (aborted-collective contributions, duplicate failure
-        notices) that may precede it on the FIFO pipe."""
+        notices) that may precede it on the FIFO pipe.
+
+        Control waits are always dependent waits: the peer may still be
+        inside its own (scaled) detection window, or collecting
+        agreement contributions from a rank it has not yet declared
+        dead, before it can send us anything."""
         while True:
-            msg = self._recv_raw(source, intercept=False)
+            msg = self._recv_raw(source, intercept=False,
+                                 timeout_scale=DEPENDENT_WAIT_SCALE)
             if _is_ctrl(msg, want):
                 return {int(r) for r in msg[1]}
             if _is_ctrl(msg, _FAILURE):
@@ -337,7 +369,10 @@ class MPComm(Comm):
             if r == self._rank:
                 continue
             while True:
-                msg = self._recv_raw(r, intercept=False)
+                # dependent wait: the peer may still be finishing its
+                # own agreement round before it sends the mark
+                msg = self._recv_raw(r, intercept=False,
+                                     timeout_scale=DEPENDENT_WAIT_SCALE)
                 if _is_ctrl(msg, _SHRINK_MARK):
                     break
         for r in sorted(failed):
@@ -515,9 +550,13 @@ def run_mpi(
                 last_progress = now
             if errors:
                 break  # peers of a crashed rank may hang; bail out now
-            if failed and now - last_progress > 2.0 * detect_timeout + 5.0:
+            if failed and now - last_progress > (
+                (1.0 + DEPENDENT_WAIT_SCALE) * detect_timeout + 5.0
+            ):
                 # a failure happened and nothing has moved for a full
-                # detection window: whatever is left is wedged
+                # detection window (direct wait plus the scaled
+                # dependent wait a relayed detection may add): whatever
+                # is left is wedged
                 failed.update(pending)
                 break
             if now > deadline:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.errors import SearchError
 from repro.likelihood.optimize_branch import smooth_all_branches
 from repro.likelihood.optimize_model import optimize_model
+from repro.obs.progress import NULL_PROGRESS
 from repro.obs.tracer import NULL_TRACER
 from repro.search.spr import SPRStats, spr_round
 
@@ -91,6 +92,12 @@ def hill_climb(backend, config: SearchConfig | None = None) -> SearchResult:
     tracer = getattr(backend, "tracer", None)
     if tracer is None:
         tracer = NULL_TRACER
+    # Live progress events follow the same discipline: backends built by
+    # a monitoring launcher carry a reporter, everything else gets the
+    # shared no-op (no allocation, no clock read on the hot path).
+    progress = getattr(backend, "progress", None)
+    if progress is None:
+        progress = NULL_PROGRESS
 
     def maybe_checkpoint(iteration: int, radius: int, logl: float) -> None:
         # Periodic checkpointing (RAxML-Light's headline feature): only
@@ -107,6 +114,7 @@ def hill_climb(backend, config: SearchConfig | None = None) -> SearchResult:
         from repro.search.checkpoint import save_checkpoint
 
         save_checkpoint(config.checkpoint_path, lik, iteration, radius, logl)
+        progress.checkpoint(str(config.checkpoint_path), iteration)
 
     def anchor():
         # SPR moves may delete whichever edge we evaluated at last time;
@@ -115,10 +123,13 @@ def hill_climb(backend, config: SearchConfig | None = None) -> SearchResult:
 
     u, v = anchor()
 
+    progress.phase("initial_smooth")
     with tracer.span("initial_smooth", kind="search"):
         smooth_all_branches(backend, passes=max(2, config.branch_passes))
     logl, _ = backend.evaluate(u, v)
+    progress.status(logl=logl)
     if config.model_opt:
+        progress.phase("model_opt", iteration=0)
         with tracer.span("model_opt", kind="search", iteration=0):
             logl = optimize_model(
                 backend,
@@ -138,6 +149,8 @@ def hill_climb(backend, config: SearchConfig | None = None) -> SearchResult:
     iterations = 0
 
     for iterations in range(1, config.max_iterations + 1):
+        progress.phase("spr_round", iteration=iterations, radius=radius)
+        progress.status(iteration=iterations, radius=radius)
         with tracer.span("spr_round", kind="search", iteration=iterations,
                          radius=radius):
             stats: SPRStats = spr_round(
@@ -150,12 +163,14 @@ def hill_climb(backend, config: SearchConfig | None = None) -> SearchResult:
         moves_total += stats.moves_accepted
         insertions_total += stats.insertions_tried
 
+        progress.phase("smooth_branches", iteration=iterations)
         with tracer.span("smooth_branches", kind="search",
                          iteration=iterations):
             smooth_all_branches(backend, passes=config.branch_passes)
         u, v = anchor()
         new_logl, _ = backend.evaluate(u, v)
         if config.model_opt:
+            progress.phase("model_opt", iteration=iterations)
             with tracer.span("model_opt", kind="search",
                              iteration=iterations):
                 new_logl = optimize_model(
@@ -170,6 +185,9 @@ def hill_climb(backend, config: SearchConfig | None = None) -> SearchResult:
         improvement = new_logl - logl
         logl = max(logl, new_logl)
         trace.append(logl)
+        progress.iteration(iterations, logl=logl, radius=radius,
+                           moves_accepted=stats.moves_accepted,
+                           insertions_tried=stats.insertions_tried)
         maybe_checkpoint(iterations, radius, logl)
 
         if improvement < config.epsilon and stats.moves_accepted == 0:
@@ -184,6 +202,8 @@ def hill_climb(backend, config: SearchConfig | None = None) -> SearchResult:
             radius = min(radius + 1, config.radius_max)
 
     backend.finish()
+    progress.event("search_end", logl=logl, iterations=iterations,
+                   moves_accepted=moves_total, converged=converged)
     return SearchResult(
         logl=logl,
         iterations=iterations,

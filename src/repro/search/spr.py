@@ -58,6 +58,13 @@ def spr_round(
         raise TreeError("SPR radius must be >= 1")
     tree = backend.tree
     stats = SPRStats(best_logl=current_logl)
+    # Live telemetry (see repro.obs.progress): per-subtree heartbeat
+    # status plus one streamed event per accepted move.  The per-trial
+    # inner loop stays untouched — thousands of cheap trials must not
+    # pay even a no-op call each.
+    progress = getattr(backend, "progress", None)
+    if progress is not None and not progress.enabled:
+        progress = None
 
     for junction_id, root_id in [
         (j.id, r.id) for j, r in _prunable_subtrees(tree)
@@ -69,6 +76,8 @@ def spr_round(
         except TreeError:
             continue  # 4-taxon corner cases
         stats.subtrees_tried += 1
+        if progress is not None:
+            progress.status()  # liveness stamp: one subtree's trials done
         healed = ctx.healed_edge
         original_insertion = tree.edge_length(junction, subtree_root).copy()
 
@@ -116,4 +125,9 @@ def spr_round(
             continue
         stats.best_logl = new_logl
         stats.moves_accepted += 1
+        if progress is not None:
+            progress.event("move", logl=new_logl,
+                           insertions_tried=stats.insertions_tried,
+                           moves_accepted=stats.moves_accepted)
+            progress.status(logl=new_logl)
     return stats

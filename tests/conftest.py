@@ -48,3 +48,13 @@ def sim_dataset(gtr_model):
 @pytest.fixture()
 def rng():
     return np.random.default_rng(20130520)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_run_registry(tmp_path, monkeypatch):
+    """Point the run registry at a per-test directory.
+
+    Registration is on by default in the CLI, and several tests invoke
+    ``repro.cli.main`` in-process from the repo root — without this,
+    they would grow a ``.repro_runs/`` in the working tree."""
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / ".repro_runs"))

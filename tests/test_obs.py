@@ -17,6 +17,7 @@ from repro.obs.export import (
     merge_rank_streams,
     rank_trace_path,
     read_jsonl,
+    snapshot_to_prom,
     span_to_dict,
     write_chrome_trace,
     write_jsonl,
@@ -158,6 +159,131 @@ class TestMetrics:
         assert merged["gauges"]["size"] == 4.0
         hist = merged["histograms"]["nbytes"]
         assert hist["count"] == 2 and hist["mean"] == 20.0
+
+    def test_merge_of_empty_snapshots(self):
+        # no snapshots at all, and snapshots with no recorded metrics,
+        # both collapse to the empty (but well-formed) merged shape
+        empty = {"counters": {}, "gauges": {}, "histograms": {}}
+        assert merge_snapshots([]) == empty
+        assert merge_snapshots([{}, MetricsRegistry().snapshot()]) == empty
+        # zero-count histograms are dropped rather than polluting the
+        # merge with their inf/-inf min/max sentinels
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        assert merge_snapshots([reg.snapshot()])["histograms"] == {}
+
+    def test_gauge_merge_is_not_a_sum(self):
+        # within one registry a gauge is last-write-wins; across ranks
+        # the merge takes the max — never the sum
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("ring.occupancy").set(10)
+        a.gauge("ring.occupancy").set(2)  # last write wins locally
+        b.gauge("ring.occupancy").set(7)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["gauges"]["ring.occupancy"] == 7.0
+
+    def test_bucketed_histogram_counts_per_edge(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 50.0):
+            h.observe(v)
+        d = h.to_dict()
+        # per-edge (non-cumulative) counts; the 50.0 overflow is implicit
+        # in `count` (the +Inf bucket)
+        assert d["buckets"] == {"1.0": 2, "10.0": 1}
+        assert d["count"] == 4
+        # bucketless histograms keep the legacy dict shape
+        reg.histogram("plain").observe(1.0)
+        assert "buckets" not in reg.histogram("plain").to_dict()
+
+    def test_histogram_merge_with_disjoint_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        ha = a.histogram("nbytes", bounds=(10.0, 100.0))
+        hb = b.histogram("nbytes", bounds=(50.0,))
+        for v in (5.0, 60.0):
+            ha.observe(v)
+        hb.observe(40.0)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        hist = merged["histograms"]["nbytes"]
+        assert hist["count"] == 3
+        # union of edges; counts from both sides survive
+        assert hist["buckets"] == {"10.0": 1, "100.0": 1, "50.0": 1}
+        # merge with a bucketless snapshot of the same metric: summary
+        # still folds in, buckets stay as they were
+        c = MetricsRegistry()
+        c.histogram("nbytes").observe(1000.0)
+        both = merge_snapshots([a.snapshot(), c.snapshot()])
+        assert both["histograms"]["nbytes"]["count"] == 3
+        assert both["histograms"]["nbytes"]["max"] == 1000.0
+        assert both["histograms"]["nbytes"]["buckets"] == {
+            "10.0": 1, "100.0": 1}
+
+    def test_merge_does_not_mutate_inputs(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", bounds=(1.0,)).observe(0.5)
+        b.histogram("h", bounds=(1.0,)).observe(0.5)
+        snap_a, snap_b = a.snapshot(), b.snapshot()
+        merge_snapshots([snap_a, snap_b])
+        assert snap_a["histograms"]["h"]["buckets"] == {"1.0": 1}
+        assert snap_b["histograms"]["h"]["buckets"] == {"1.0": 1}
+
+
+class TestPromExport:
+    def test_empty_snapshot_renders_nothing(self):
+        assert snapshot_to_prom({}) == ""
+        assert snapshot_to_prom(MetricsRegistry().snapshot()) == ""
+
+    def test_counters_gauges_and_summary_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("comm.calls.allreduce").inc(5)
+        reg.gauge("trace.spans").set(12)
+        reg.histogram("comm.nbytes").observe(100.0)
+        text = snapshot_to_prom(reg.snapshot())
+        assert "# TYPE repro_comm_calls_allreduce counter" in text
+        assert "repro_comm_calls_allreduce 5.0" in text
+        assert "# TYPE repro_trace_spans gauge" in text
+        assert "# TYPE repro_comm_nbytes summary" in text
+        assert "repro_comm_nbytes_count 1" in text
+        assert "repro_comm_nbytes_sum 100.0" in text
+        assert text.endswith("\n")
+
+    def test_bucketed_histogram_is_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(1.0, 10.0))
+        for v in (0.5, 0.6, 5.0, 50.0):
+            h.observe(v)
+        text = snapshot_to_prom(reg.snapshot())
+        assert "# TYPE repro_lat histogram" in text
+        # cumulative: le=1 holds 2, le=10 holds 2+1, +Inf holds count
+        assert 'repro_lat_bucket{le="1.0"} 2' in text
+        assert 'repro_lat_bucket{le="10.0"} 3' in text
+        assert 'repro_lat_bucket{le="+Inf"} 4' in text
+        # the bucket lines precede the _count/_sum summary samples
+        assert text.index("_bucket") < text.index("repro_lat_count")
+
+    def test_labels_attach_to_every_sample(self):
+        reg = MetricsRegistry()
+        reg.counter("calls").inc()
+        reg.histogram("lat", bounds=(1.0,)).observe(0.5)
+        text = snapshot_to_prom(reg.snapshot(),
+                                labels={"rank": "2", "engine": "dec"})
+        assert 'repro_calls{engine="dec",rank="2"} 1.0' in text
+        assert 'repro_lat_bucket{engine="dec",rank="2",le="1.0"} 1' in text
+        assert 'repro_lat_bucket{engine="dec",rank="2",le="+Inf"} 1' in text
+
+    def test_label_values_escaped(self):
+        text = snapshot_to_prom({"counters": {"c": 1.0}},
+                                labels={"path": 'a"b\\c'})
+        assert 'path="a\\"b\\\\c"' in text
+
+    def test_names_sanitized_and_nonfinite_values(self):
+        text = snapshot_to_prom(
+            {"counters": {"comm.bytes.tag.traversal descriptor": 2.0},
+             "gauges": {"bad": float("nan"), "big": float("inf")}},
+            prefix="")
+        assert "comm_bytes_tag_traversal_descriptor 2.0" in text
+        assert "bad NaN" in text
+        assert "big +Inf" in text
 
 
 # ---------------------------------------------------------------------- #
