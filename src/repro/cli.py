@@ -91,6 +91,10 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         raise SystemExit("--checkpoint-every needs --checkpoint PATH")
     if args.engine != "sequential" and args.resume:
         raise SystemExit("--resume is only supported with --engine sequential")
+    if args.supervise and args.engine == "sequential":
+        raise SystemExit("--supervise needs a distributed engine")
+    if args.supervise and args.sanitize:
+        raise SystemExit("--supervise does not compose with --sanitize yet")
     if args.sanitize and args.engine != "decentralized":
         raise SystemExit(
             "--sanitize needs --engine decentralized: only the "
@@ -147,11 +151,71 @@ def _cmd_infer(args: argparse.Namespace) -> int:
 
     if args.engine != "sequential":
         from repro.engines.launch import run_decentralized, run_forkjoin
+        from repro.errors import MasterLostError
         from repro.par.faultcomm import FaultPlan
 
         plan = (FaultPlan.parse(args.inject_failure)
                 if args.inject_failure else None)
         start_newick = write_newick(tree)
+
+        if args.supervise:
+            # The escalation ladder owns the whole run lifecycle: per-
+            # attempt monitoring, checkpoint-resume restarts, degraded
+            # relaunches, and the attempt chain in the registry.
+            from repro.supervise import RecoveryPolicy, Supervisor
+
+            policy = RecoveryPolicy(
+                max_attempts=args.max_attempts,
+                min_ranks=args.min_ranks,
+                backoff_base_s=args.backoff,
+                attempt_timeout_s=args.attempt_timeout,
+            )
+            work_dir = (registry.root / run_id / "supervise"
+                        if registry is not None else None)
+            supervisor = Supervisor(
+                policy, engine=args.engine, work_dir=work_dir,
+                registry=registry, run_id=run_id, rng=args.seed,
+                detect_timeout=args.detect_timeout, monitor=args.monitor,
+                log=lambda msg: print(msg, file=sys.stderr),
+            )
+            outcome = supervisor.run(
+                lik.parts, lik.taxa, start_newick, args.ranks,
+                config=config, dist_kind=args.dist, fault_plan=plan)
+            if registry is not None:
+                result = ({"logl": outcome.result.logl,
+                           "iterations": outcome.result.iterations,
+                           "recoveries": outcome.result.recoveries,
+                           "restarts": outcome.result.restarts}
+                          if outcome.ok and outcome.result is not None
+                          else None)
+                registry.update(
+                    run_id,
+                    status="completed" if outcome.ok else "failed",
+                    result=result)
+            if not outcome.ok:
+                print(outcome.error, file=sys.stderr)
+                if outcome.diagnosis:
+                    print(f"first stall diagnosis: "
+                          f"{outcome.diagnosis.get('message')}",
+                          file=sys.stderr)
+                return 1
+            res = outcome.result
+            if len(outcome.attempts) > 1:
+                final = outcome.attempts[-1]
+                print(f"supervised: succeeded on attempt "
+                      f"{final.attempt} (tier {final.tier}, "
+                      f"{final.ranks} rank(s), {final.dist})",
+                      file=sys.stderr)
+            newick = res.newick
+            if args.output:
+                Path(args.output).write_text(newick + "\n")
+            else:
+                print(newick)
+            print(f"logL = {res.logl:.4f} after {res.iterations} "
+                  f"iterations ({args.engine} supervised, "
+                  f"{len(outcome.attempts)} attempt(s))", file=sys.stderr)
+            return 0
+
         monitor_dir = None
         monitor_thread = None
         if args.monitor:
@@ -175,6 +239,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                   f"(watch with: repro watch {run_id or monitor_dir})",
                   file=sys.stderr)
         status, res = "failed", None
+        failure = None
         try:
             if args.engine == "decentralized":
                 replicas = run_decentralized(
@@ -208,6 +273,20 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                     print(f"worker failure: restarted {res.restarts} time(s) "
                           f"from checkpoint", file=sys.stderr)
             status = "completed"
+        except MasterLostError as exc:
+            # Typed catastrophic outcome: record *why* the run failed
+            # (and whether a checkpoint survives) in the manifest, so
+            # `repro runs show` explains the failure without log spelunking.
+            failure = {
+                "error": "master_lost",
+                "message": str(exc),
+                "failed_ranks": sorted(exc.failed_ranks),
+                "checkpoint": exc.checkpoint,
+            }
+            print(f"fork-join master lost: {exc}", file=sys.stderr)
+            if exc.checkpoint:
+                print(f"restart with --supervise (or resume from "
+                      f"{exc.checkpoint})", file=sys.stderr)
         finally:
             diagnosis = None
             if monitor_thread is not None:
@@ -229,8 +308,13 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                     }
                     if res is not None else None
                 )
-                registry.update(run_id, status=status, result=result,
-                                diagnosis=diagnosis)
+                fields = {"status": status, "result": result,
+                          "diagnosis": diagnosis}
+                if failure is not None:
+                    fields["failure"] = failure
+                registry.update(run_id, **fields)
+        if res is None:
+            return 1
         newick = res.newick
         if args.output:
             Path(args.output).write_text(newick + "\n")
@@ -636,6 +720,62 @@ def _cmd_regress(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded chaos campaign over the supervised engines."""
+    from repro.search.search import SearchConfig
+    from repro.supervise.chaos import run_campaign
+    from repro.supervise.policy import RecoveryPolicy
+
+    if args.alignment:
+        from repro.likelihood.partitioned import PartitionedLikelihood
+        from repro.seq.partitions import read_partition_file
+        from repro.tree.newick import write_newick
+        from repro.tree.random_trees import random_topology
+
+        alignment = _load_alignment(args.alignment)
+        scheme = (read_partition_file(args.partitions)
+                  if args.partitions else None)
+        tree = random_topology(alignment.taxa, rng=args.seed)
+        lik = PartitionedLikelihood.build(
+            alignment, tree, scheme=scheme, rate_mode=args.model)
+        parts, taxa, newick = lik.parts, lik.taxa, write_newick(tree)
+    else:
+        # built-in synthetic workload: small enough that a 20-run
+        # campaign with recoveries finishes in CI minutes
+        from repro.datasets import partitioned_workload
+        from repro.tree.newick import write_newick
+
+        wl = partitioned_workload(2, n_taxa=8, sites_per_partition=30)
+        lik = wl.build_likelihood(args.model)
+        parts, taxa, newick = lik.parts, lik.taxa, write_newick(wl.tree)
+
+    config = SearchConfig(
+        max_iterations=args.iterations, radius_max=args.radius,
+        model_opt=False, epsilon=1e-6, branch_passes=3)
+    policy = RecoveryPolicy(
+        max_attempts=args.max_attempts, min_ranks=args.min_ranks,
+        backoff_base_s=0.05, backoff_max_s=0.5,
+        attempt_timeout_s=args.attempt_timeout)
+    report = run_campaign(
+        parts, taxa, newick,
+        n_runs=args.runs, seed=args.seed, n_ranks=args.ranks,
+        engine=args.engine, dist_kind=args.dist, config=config,
+        policy=policy, out_dir=args.out,
+        detect_timeout=args.detect_timeout, max_faults=args.max_faults,
+        monitor=args.monitor,
+        log=lambda msg: print(msg, file=sys.stderr),
+    )
+    print(report.format_table())
+    if args.out:
+        print(f"campaign report + per-run manifests under {args.out}",
+              file=sys.stderr)
+    if not report.ok:
+        print(f"chaos invariant violated in "
+              f"{len(report.violations)} run(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_watch(args: argparse.Namespace) -> int:
     """Live per-rank table over a monitored run's heartbeat channel."""
     from repro.obs.monitor import resolve_monitor_dir, watch_loop
@@ -663,6 +803,7 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     from repro.obs.registry import (
         RunRegistry,
         compare_runs,
+        format_attempt_chain,
         format_compare_table,
     )
 
@@ -696,6 +837,10 @@ def _cmd_runs(args: argparse.Namespace) -> int:
         except FileNotFoundError as exc:
             raise SystemExit(str(exc)) from exc
         print(json.dumps(manifest, indent=2))
+        chain = format_attempt_chain(manifest)
+        if chain:
+            print()
+            print(chain)
         return 0
     # compare
     try:
@@ -858,6 +1003,33 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--no-register", action="store_true",
                        help="skip writing a manifest to the run registry "
                             "(.repro_runs/ or $REPRO_RUNS_DIR)")
+    infer.add_argument("--supervise", action="store_true",
+                       help="run under the escalation-ladder supervisor: "
+                            "in-mesh recovery first, then kill + restart "
+                            "from the latest checkpoint with backoff, "
+                            "then a degraded restart (fewer ranks, other "
+                            "distribution), then durable failure with the "
+                            "stall diagnosis in the registry manifest; "
+                            "every attempt is chained into the manifest "
+                            "(distributed engines only)")
+    infer.add_argument("--max-attempts", type=int, default=4,
+                       help="supervised launch budget, the first attempt "
+                            "included (default 4)")
+    infer.add_argument("--min-ranks", type=int, default=1,
+                       help="rank quorum: in-mesh recovery may shrink the "
+                            "mesh and finish in place only while at least "
+                            "this many ranks survive; one fewer escalates "
+                            "to a degraded restart (default 1)")
+    infer.add_argument("--backoff", type=float, default=0.25,
+                       metavar="SECONDS",
+                       help="base retry backoff, doubled per attempt with "
+                            "seeded jitter (default 0.25)")
+    infer.add_argument("--attempt-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-attempt wall-clock budget; a wedged "
+                            "attempt is killed and classified instead of "
+                            "hanging the supervisor (default: launcher "
+                            "default, 600)")
     infer.set_defaults(func=_cmd_infer)
 
     sim = sub.add_parser("simulate", help="generate a benchmark alignment")
@@ -1038,6 +1210,58 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("-v", "--verbose", action="store_true",
                       help="also list suppressed and baselined findings")
     lint.set_defaults(func=_cmd_lint)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded chaos campaign: N supervised runs under randomized "
+             "multi-fault schedules (die/hang/slow, faults during "
+             "recovery included), each asserted bitwise-identical to "
+             "the undisturbed reference or cleanly failed at tier 3 "
+             "with a named diagnosis — never hung, never partial")
+    chaos.add_argument("alignment", nargs="?", default=None,
+                       help="FASTA/PHYLIP/binary alignment (default: a "
+                            "built-in small synthetic workload)")
+    chaos.add_argument("-q", "--partitions",
+                       help="RAxML-style partition file")
+    chaos.add_argument("-m", "--model", choices=["gamma", "psr", "none"],
+                       default="gamma")
+    chaos.add_argument("-n", "--iterations", type=int, default=10)
+    chaos.add_argument("-r", "--radius", type=int, default=2)
+    chaos.add_argument("-s", "--seed", type=int, default=42,
+                       help="campaign seed: fault schedules are a pure "
+                            "function of it — replay a red campaign "
+                            "exactly by reusing its seed (default 42)")
+    chaos.add_argument("--runs", type=int, default=20,
+                       help="number of chaos runs (default 20)")
+    chaos.add_argument("--ranks", type=int, default=3,
+                       help="mesh width per run (default 3)")
+    chaos.add_argument("--engine",
+                       choices=["decentralized", "forkjoin"],
+                       default="decentralized")
+    chaos.add_argument("--dist", choices=["cyclic", "mps"],
+                       default="cyclic")
+    chaos.add_argument("--out", default="chaos_out", metavar="DIR",
+                       help="artifact directory: campaign report JSON, "
+                            "per-run registry manifests with attempt "
+                            "chains, supervisor work dirs (default "
+                            "./chaos_out)")
+    chaos.add_argument("--max-faults", type=int, default=3,
+                       help="max faults drawn per schedule (default 3)")
+    chaos.add_argument("--max-attempts", type=int, default=3,
+                       help="supervised launch budget per run (default 3)")
+    chaos.add_argument("--min-ranks", type=int, default=1,
+                       help="rank quorum for in-mesh recovery (default 1)")
+    chaos.add_argument("--attempt-timeout", type=float, default=120.0,
+                       metavar="SECONDS",
+                       help="per-attempt wall-clock budget (default 120)")
+    chaos.add_argument("--detect-timeout", type=float, default=6.0,
+                       metavar="SECONDS",
+                       help="bounded-receive failure detection timeout "
+                            "(default 6)")
+    chaos.add_argument("--monitor", action="store_true",
+                       help="run the heartbeat monitor per attempt so "
+                            "timeout verdicts carry a stall diagnosis")
+    chaos.set_defaults(func=_cmd_chaos)
 
     watch = sub.add_parser(
         "watch",

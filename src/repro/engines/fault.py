@@ -153,15 +153,27 @@ def recovery_time(
     return reload_s + sync_s
 
 
-def forkjoin_failure_outcome(failed_ranks: list[int]) -> FailureReport:
+def forkjoin_failure_outcome(
+    failed_ranks: list[int], checkpoint: str | None = None
+) -> FailureReport:
     """What the fork-join scheme can do about the same failure.
 
     Worker failures lose data *and* the master's ability to continue
     (RAxML-Light aborts); a master failure loses the only copy of the
     search state — the paper calls this catastrophic.  Either way the run
-    restarts from the last checkpoint.
+    restarts from the last checkpoint; ``checkpoint`` names the latest
+    durable one so the report (and the supervisor reading it) can tell a
+    checkpoint-restartable outcome from a restart-from-scratch.
     """
     catastrophic = 0 in failed_ranks
+    if catastrophic:
+        reason = "master failure: the only copy of the search state is lost"
+    else:
+        reason = "worker failure: fork-join aborts, restart from checkpoint"
+    if checkpoint:
+        reason += f" (latest checkpoint: {checkpoint})"
+    else:
+        reason += " (no checkpoint written: restart from scratch)"
     return FailureReport(
         failed_ranks=tuple(sorted(set(failed_ranks))),
         survivors=0,
@@ -170,9 +182,5 @@ def forkjoin_failure_outcome(failed_ranks: list[int]) -> FailureReport:
             kind="cyclic", owned=np.zeros((1, 1))
         ),
         recoverable=False,
-        reason=(
-            "master failure: the only copy of the search state is lost"
-            if catastrophic
-            else "worker failure: fork-join aborts, restart from checkpoint"
-        ),
+        reason=reason,
     )

@@ -32,8 +32,12 @@ import numpy as np
 
 from repro.dist.distributions import split_local_data
 from repro.engines.decentral import DecentralizedBackend, recover_decentralized
-from repro.engines.forkjoin import ForkJoinMasterBackend, forkjoin_worker
-from repro.errors import CommError, RankFailureError
+from repro.engines.forkjoin import (
+    CAT_TRAVERSAL,
+    ForkJoinMasterBackend,
+    forkjoin_worker,
+)
+from repro.errors import CommError, MasterLostError, QuorumLostError, RankFailureError
 from repro.likelihood.partitioned import PartitionData, PartitionedLikelihood
 from repro.obs.progress import NULL_PROGRESS
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -224,12 +228,23 @@ def _decentral_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult:
         payload["parts"], comm.rank, comm.size, payload["dist_kind"]
     )
     lik = PartitionedLikelihood(tree, local_parts, payload["taxa"])
+    resume_from = payload.get("resume_from")
+    if resume_from:
+        # Supervised restart: every replica restores the identical
+        # checkpointed state locally (no broadcast needed — the whole
+        # point of the de-centralized scheme), then resumes the climb.
+        from repro.search.checkpoint import load_checkpoint, restore_into
+
+        meta, arrays = load_checkpoint(resume_from)
+        restore_into(lik, meta, arrays)
+        tree = lik.tree
     backend = DecentralizedBackend(comm, lik)
     backend.tracer = tracer
     backend.progress = progress
     progress.event("run_start", engine="decentralized", ranks=comm.size,
                    dist=payload["dist_kind"])
 
+    min_ranks = int(payload.get("min_ranks") or 1)
     all_failed: list[int] = []
     recoveries = 0
     ok = False
@@ -242,17 +257,28 @@ def _decentral_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult:
                 # Section V, live: agree → shrink → redistribute → resume.
                 # The tree and model in `backend` are this replica's full
                 # copy of the search state; only the data share is rebuilt.
-                failed_now = sorted(int(r) for r in exc.failed_ranks)
+                failed_set = {int(r) for r in exc.failed_ranks}
                 tracer.instant(
-                    "rank_failure", kind="recovery", failed=failed_now,
+                    "rank_failure", kind="recovery",
+                    failed=sorted(failed_set),
                 )
-                progress.event("rank_failure", failed=failed_now)
+                progress.event("rank_failure", failed=sorted(failed_set))
                 progress.status(phase="recover", in_collective=False)
                 with tracer.span("recover", kind="recovery"):
-                    backend, report = recover_decentralized(
-                        backend, exc.failed_ranks, payload["parts"],
-                        payload["dist_kind"],
-                    )
+                    # Recovery itself may be hit by further failures
+                    # (a second rank dying inside agree/shrink): retry
+                    # with the union of every failed set observed so
+                    # far until a round completes on the survivors.
+                    while True:
+                        try:
+                            backend, report = recover_decentralized(
+                                backend, failed_set, payload["parts"],
+                                payload["dist_kind"],
+                            )
+                            break
+                        except RankFailureError as again:
+                            failed_set |= {int(r)
+                                           for r in again.failed_ranks}
                 tracer.instant(
                     "redistribute", kind="recovery",
                     bytes_moved=report.bytes_moved,
@@ -265,6 +291,17 @@ def _decentral_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult:
                 recoveries += 1
                 if metrics is not None:
                     metrics.counter("recovery.rounds").inc()
+                if comm.size < min_ranks:
+                    # Graceful degradation has a floor: the shrunk mesh
+                    # could finish, but the policy judges it too narrow.
+                    # Not a RankFailureError — the in-mesh loop must not
+                    # "recover" from it; the remedy (tier-2 restart at a
+                    # different width) belongs to the supervisor.
+                    progress.event("quorum_lost", survivors=comm.size,
+                                   min_ranks=min_ranks)
+                    raise QuorumLostError(
+                        comm.size, min_ranks,
+                        failed_ranks=sorted(set(all_failed)))
                 tracer.instant("resume", kind="recovery")
                 progress.event(
                     "recovery", failed=sorted(set(all_failed)),
@@ -308,6 +345,9 @@ def run_decentralized(
     sanitize: bool = False,
     monitor_dir: str | Path | None = None,
     beat_interval: float | None = None,
+    min_ranks: int = 1,
+    resume_from: str | Path | None = None,
+    timeout: float | None = None,
 ) -> list[DistributedResult]:
     """Run the ExaML scheme on ``n_ranks`` real processes.
 
@@ -334,6 +374,15 @@ def run_decentralized(
     a parent-side :class:`~repro.obs.monitor.Monitor` (or ``repro
     watch``) can observe — and diagnose stalls in — the run while it
     executes.
+
+    ``min_ranks`` is the supervising policy's quorum: in-run recovery
+    shrinks and resumes (graceful degradation) only while at least this
+    many survivors remain; one fewer raises
+    :class:`~repro.errors.QuorumLostError` instead of resuming.
+    ``resume_from`` restores every replica from a checkpoint before the
+    search starts (the supervised tier-1 restart path); ``timeout``
+    bounds the whole launch (the supervisor's per-attempt wall-clock
+    budget).
     """
     payload = {
         "parts": parts,
@@ -348,13 +397,19 @@ def run_decentralized(
         "sanitize": sanitize,
         "monitor_dir": _prepare_trace_dir(monitor_dir),
         "beat_interval": beat_interval,
+        "min_ranks": min_ranks,
+        "resume_from": str(resume_from) if resume_from else None,
     }
+    kwargs: dict[str, Any] = {}
+    if timeout is not None:
+        kwargs["timeout"] = timeout
     return run_mpi(
         n_ranks,
         _decentral_rank,
         [payload] * n_ranks,
         detect_timeout=detect_timeout,
         allow_failures=fault_plan is not None,
+        **kwargs,
     )
 
 
@@ -370,23 +425,42 @@ def _forkjoin_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult | N
     # still leave this rank's trace (with the error-flagged span) on disk.
     ok = False
     try:
+        resume_from = payload.get("resume_from")
+        progress.event("run_start", engine="forkjoin", ranks=comm.size,
+                       dist=payload["dist_kind"])
         if comm.rank == 0:
             tree = _rebuild_tree(payload["newick"], payload["n_branch_sets"])
             lik = PartitionedLikelihood(tree, local_parts, payload["taxa"])
             backend = ForkJoinMasterBackend(comm, lik)
             backend.tracer = tracer
             backend.progress = progress
-            progress.event("run_start", engine="forkjoin", ranks=comm.size,
-                           dist=payload["dist_kind"])
-            resume_from = payload.get("resume_from")
             if resume_from:
-                from repro.model.rates import DiscreteGamma
                 from repro.search.checkpoint import load_checkpoint, restore_into
 
                 meta, arrays = load_checkpoint(resume_from)
                 restore_into(lik, meta, arrays)
                 backend.tree = lik.tree
                 tree = lik.tree
+        node_taxon = payload["node_taxon"]
+        if resume_from:
+            # The restored tree was re-parsed from the checkpoint's
+            # newick: after SPR moves its leaf node ids no longer match
+            # the start tree's, so the node_taxon map every rank was
+            # launched with is stale.  The master rebuilds it from the
+            # restored tree and every rank receives it here — the same
+            # collective at the same call site — before any descriptor
+            # references a leaf.
+            refreshed = None
+            if comm.rank == 0:
+                taxon_row = {label: i
+                             for i, label in enumerate(payload["taxa"])}
+                refreshed = {leaf.id: taxon_row[leaf.label]
+                             for leaf in tree.leaves()}
+            node_taxon = comm.bcast(refreshed, root=0, tag=CAT_TRAVERSAL)
+        if comm.rank == 0:
+            if resume_from:
+                from repro.model.rates import DiscreteGamma
+
                 # Workers restarted with pristine model parameters; push the
                 # restored ones through the regular broadcast commands so the
                 # mesh is consistent before the search resumes.
@@ -415,10 +489,8 @@ def _forkjoin_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult | N
                 progress_path=(str(progress.stream.path)
                                if progress.stream is not None else None),
             )
-        progress.event("run_start", engine="forkjoin", ranks=comm.size,
-                       dist=payload["dist_kind"])
         forkjoin_worker(
-            comm, local_parts, payload["node_taxon"],
+            comm, local_parts, node_taxon,
             payload["n_branch_sets"], tracer=tracer, metrics=metrics,
             progress=progress,
         )
@@ -444,6 +516,8 @@ def run_forkjoin(
     trace_capacity: int | None = None,
     monitor_dir: str | Path | None = None,
     beat_interval: float | None = None,
+    resume_from: str | Path | None = None,
+    timeout: float | None = None,
 ) -> DistributedResult:
     """Run the RAxML-Light scheme on ``n_ranks`` real processes.
 
@@ -451,13 +525,20 @@ def run_forkjoin(
     tree-agnostic by design).
 
     Fault handling is the paper's contrast case: a failure aborts the
-    whole run.  A *master* failure is unrecoverable (the only copy of
-    the search state dies with rank 0 — "catastrophic").  A *worker*
-    failure restarts the run — from the last periodic checkpoint when
-    ``config.checkpoint_every``/``config.checkpoint_path`` are set, from
-    scratch otherwise — at most ``max_restarts`` times.  Injection only
-    applies to the first attempt (the restart models a replacement
-    node).
+    whole run.  A *master* failure is unrecoverable in-run (the only
+    copy of the search state dies with rank 0 — "catastrophic") and
+    raises the typed :class:`~repro.errors.MasterLostError` naming the
+    latest durable checkpoint when one exists, so a supervising layer
+    can distinguish "restartable from checkpoint" from "restart from
+    scratch".  A *worker* failure restarts the run — from the last
+    periodic checkpoint when ``config.checkpoint_every``/
+    ``checkpoint_path`` are set, from scratch otherwise — at most
+    ``max_restarts`` times.  Injection only applies to the first attempt
+    (the restart models a replacement node).
+
+    ``resume_from`` starts the *first* attempt from a checkpoint (the
+    supervised restart path); ``timeout`` bounds each attempt's
+    wall-clock (the supervisor's per-attempt budget).
     """
     tree = _rebuild_tree(start_newick, n_branch_sets)
     taxon_row = {label: i for i, label in enumerate(taxa)}
@@ -479,6 +560,18 @@ def run_forkjoin(
         "monitor_dir": _prepare_trace_dir(monitor_dir),
         "beat_interval": beat_interval,
     }
+    if resume_from:
+        payload["resume_from"] = str(resume_from)
+
+    def _latest_checkpoint() -> Path | None:
+        ckpt = Path(config.checkpoint_path) if config.checkpoint_path else None
+        if ckpt is not None and ckpt.suffix != ".npz":
+            ckpt = ckpt.with_name(ckpt.name + ".npz")  # np.savez suffixing
+        return ckpt if ckpt is not None and ckpt.exists() else None
+
+    run_kwargs: dict[str, Any] = {}
+    if timeout is not None:
+        run_kwargs["timeout"] = timeout
     restarts = 0
     while True:
         try:
@@ -487,15 +580,25 @@ def run_forkjoin(
                 _forkjoin_rank,
                 [payload] * n_ranks,
                 detect_timeout=detect_timeout,
+                **run_kwargs,
             )
             break
         except RankFailureError as exc:
             from repro.engines.fault import forkjoin_failure_outcome
 
-            outcome = forkjoin_failure_outcome(sorted(exc.failed_ranks))
+            ckpt = _latest_checkpoint()
+            outcome = forkjoin_failure_outcome(
+                sorted(exc.failed_ranks),
+                checkpoint=str(ckpt) if ckpt else None,
+            )
             if 0 in exc.failed_ranks:
-                raise CommError(
-                    f"fork-join run unrecoverable: {outcome.reason}"
+                # Typed, not a generic unrecoverable failure: the state
+                # is gone, not corrupt — a supervisor can restart from
+                # the checkpoint the error names.
+                raise MasterLostError(
+                    exc.failed_ranks,
+                    checkpoint=str(ckpt) if ckpt else None,
+                    message=f"fork-join run unrecoverable: {outcome.reason}",
                 ) from exc
             if restarts >= max_restarts:
                 raise CommError(
@@ -506,10 +609,7 @@ def run_forkjoin(
             payload = dict(payload)
             payload["fault_plan"] = None  # the failed node was replaced
             payload["restarts"] = restarts
-            ckpt = Path(config.checkpoint_path) if config.checkpoint_path else None
-            if ckpt is not None and ckpt.suffix != ".npz":
-                ckpt = ckpt.with_name(ckpt.name + ".npz")  # np.savez suffixing
-            if ckpt is not None and ckpt.exists():
+            if ckpt is not None:
                 payload["resume_from"] = str(ckpt)
     master = results[0]
     if master is None:

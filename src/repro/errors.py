@@ -86,6 +86,55 @@ class ReplicaDivergenceError(CommError):
         super().__init__(message)
 
 
+class MasterLostError(CommError):
+    """The fork-join master (rank 0) died: the only copy of the search
+    state is gone.
+
+    In-run this is unrecoverable (the paper's "catastrophic" case), but
+    it is *not* corrupt state: a supervising layer can restart the run
+    from the latest durable checkpoint on a fresh mesh.  ``checkpoint``
+    names that checkpoint when one exists (``None`` otherwise), so the
+    supervisor can distinguish "restartable from checkpoint" from
+    "restart from scratch".
+    """
+
+    def __init__(self, failed_ranks, checkpoint: str | None = None,
+                 message: str = "") -> None:
+        self.failed_ranks = frozenset(int(r) for r in failed_ranks)
+        self.checkpoint = checkpoint
+        suffix = (f" (restartable from checkpoint {checkpoint})"
+                  if checkpoint else " (no checkpoint: restart from scratch)")
+        super().__init__(
+            message
+            or "fork-join master died: the only copy of the search state "
+               f"is lost{suffix}"
+        )
+
+
+class QuorumLostError(CommError):
+    """The mesh shrank below the supervising policy's rank quorum.
+
+    Raised by the decentralized recovery loop *instead of resuming* when
+    a recovery would leave fewer than ``min_ranks`` survivors: the
+    shrunk mesh could still finish, but the policy judges the run too
+    degraded to be worth the wall-clock.  Like
+    :class:`ReplicaDivergenceError`, this deliberately is not a
+    :class:`RankFailureError` — the in-mesh recovery loop must not catch
+    it; the remedy (a tier-2 restart at a different width) lives in the
+    supervisor above the run.
+    """
+
+    def __init__(self, survivors: int, min_ranks: int,
+                 failed_ranks=()) -> None:
+        self.survivors = int(survivors)
+        self.min_ranks = int(min_ranks)
+        self.failed_ranks = frozenset(int(r) for r in failed_ranks)
+        super().__init__(
+            f"quorum lost: {survivors} survivor(s) after recovery, "
+            f"policy requires at least {min_ranks}"
+        )
+
+
 class DistributionError(ReproError):
     """Infeasible or inconsistent data-distribution request."""
 

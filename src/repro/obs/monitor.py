@@ -338,6 +338,7 @@ class MonitorThread:
         interval: float = 0.25,
         diagnosis_path: str | Path | None = None,
         on_diagnosis: Callable[[Diagnosis], None] | None = None,
+        on_stall: Callable[[Diagnosis], None] | None = None,
         **thresholds: float,
     ) -> None:
         self.monitor = Monitor(monitor_dir, **thresholds)
@@ -347,6 +348,12 @@ class MonitorThread:
             else Path(monitor_dir) / DIAGNOSIS_FILENAME
         )
         self.on_diagnosis = on_diagnosis
+        #: Verdict → supervisor signal: called exactly once, with the
+        #: first stall-class diagnosis (``hung_rank``/``global_stall``/
+        #: ``dead_rank``).  A supervising layer hooks this to classify
+        #: the attempt (e.g. escalate a hung run to a tier-1 restart)
+        #: without polling the monitor itself.
+        self.on_stall = on_stall
         self.first_stall: Diagnosis | None = None
         self.latest: Diagnosis | None = None
         #: Status transitions in order (first diagnosis of each streak).
@@ -382,6 +389,8 @@ class MonitorThread:
                     json.dumps(diag.to_dict(), indent=2) + "\n")
             except OSError:  # pragma: no cover
                 pass
+            if self.on_stall is not None:
+                self.on_stall(diag)
         return diag
 
     def stop(self) -> Diagnosis | None:

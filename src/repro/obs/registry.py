@@ -33,6 +33,7 @@ __all__ = [
     "runs_root",
     "compare_runs",
     "format_compare_table",
+    "format_attempt_chain",
     "DEFAULT_ROOT_NAME",
     "MANIFEST_FILENAME",
     "BENCH_FILENAME",
@@ -90,6 +91,23 @@ class RunRegistry:
         """Merge fields into an existing manifest and rewrite it."""
         manifest = self.load(run_id)
         manifest.update(fields)
+        self._write_manifest(run_id, manifest)
+        return manifest
+
+    def record_attempt(self, run_id: str, attempt: dict[str, Any]) -> dict[str, Any]:
+        """Append one supervised attempt to the run's attempt chain.
+
+        The supervisor records every launch it makes — tier, engine,
+        ranks, distribution, verdict, backoff — so a failed run's
+        manifest tells the whole escalation story, not just the final
+        status.  ``repro runs show`` renders the chain as a table.
+        """
+        manifest = self.load(run_id)
+        chain = list(manifest.get("attempts") or [])
+        attempt = dict(attempt)
+        attempt.setdefault("attempt", len(chain))
+        chain.append(attempt)
+        manifest["attempts"] = chain
         self._write_manifest(run_id, manifest)
         return manifest
 
@@ -219,4 +237,31 @@ def format_compare_table(comparison: dict[str, Any]) -> str:
                      f"{ratio:>8}")
     if not comparison["rows"]:
         lines.append("(no bench metrics recorded for either run)")
+    return "\n".join(lines)
+
+
+def format_attempt_chain(manifest: dict[str, Any]) -> str:
+    """Render a supervised run's attempt chain as a table.
+
+    Empty string when the run was not supervised (no ``attempts`` key),
+    so callers can unconditionally append the result.
+    """
+    chain = manifest.get("attempts") or []
+    if not chain:
+        return ""
+    header = (f"{'#':>2} {'tier':>4} {'engine':<14}{'ranks':>6} "
+              f"{'dist':<8}{'backoff':>9}  verdict")
+    lines = ["attempt chain:", header, "-" * len(header)]
+    for att in chain:
+        backoff = att.get("backoff_s")
+        backoff_s = "-" if backoff in (None, 0, 0.0) else f"{backoff:.2f}s"
+        verdict = att.get("verdict", "?")
+        detail = att.get("detail")
+        if detail:
+            verdict = f"{verdict}: {detail}"
+        lines.append(
+            f"{att.get('attempt', '?'):>2} {att.get('tier', '?'):>4} "
+            f"{str(att.get('engine', '-')):<14}{str(att.get('ranks', '-')):>6} "
+            f"{str(att.get('dist', '-')):<8}{backoff_s:>9}  {verdict}"
+        )
     return "\n".join(lines)

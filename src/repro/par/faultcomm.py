@@ -44,6 +44,8 @@ __all__ = [
     "MODE_DIE",
     "MODE_HANG",
     "MODE_SLOW",
+    "WHEN_ANY",
+    "WHEN_RECOVERY",
 ]
 
 #: Exit code of a fault-injected death (distinguishes injected kills from
@@ -55,14 +57,32 @@ MODE_HANG = "hang"
 MODE_SLOW = "slow"
 _MODES = (MODE_DIE, MODE_HANG, MODE_SLOW)
 
+#: Trigger scopes: ``any`` counts every communicator call since launch;
+#: ``recovery`` arms only once this rank enters its first recovery and
+#: counts recovery operations (``agree`` is call 1, ``shrink`` call 2,
+#: then every post-resume collective) — the knob that injects a *second*
+#: fault during agree/shrink or right after a resume.
+WHEN_ANY = "any"
+WHEN_RECOVERY = "recovery"
+_WHENS = (WHEN_ANY, WHEN_RECOVERY)
+
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """Kill ``rank`` when it issues its ``at_call``-th communicator call."""
+    """Kill ``rank`` when it issues its ``at_call``-th communicator call.
+
+    With ``when="recovery"`` the counter is the rank's *recovery* call
+    counter instead: it starts at the rank's first ``agree`` (so
+    ``at_call=1`` dies entering agreement, ``at_call=2`` dies inside the
+    shrink, ``at_call=3`` dies on the first post-resume collective...),
+    which expresses multi-fault schedules where a second failure lands
+    while the mesh is still repairing the first.
+    """
 
     rank: int
     at_call: int
     mode: str = MODE_DIE
+    when: str = WHEN_ANY
 
     def __post_init__(self) -> None:
         if self.rank < 0:
@@ -71,6 +91,8 @@ class FaultSpec:
             raise CommError("fault call number counts from 1")
         if self.mode not in _MODES:
             raise CommError(f"unknown fault mode {self.mode!r}")
+        if self.when not in _WHENS:
+            raise CommError(f"unknown fault trigger scope {self.when!r}")
 
 
 @dataclass(frozen=True)
@@ -98,9 +120,9 @@ class FaultPlan:
 
     @classmethod
     def kill(cls, rank: int, at_call: int, mode: str = MODE_DIE,
-             hang_seconds: float = 30.0) -> "FaultPlan":
+             hang_seconds: float = 30.0, when: str = WHEN_ANY) -> "FaultPlan":
         """Kill one rank at one deterministic point."""
-        return cls(specs=(FaultSpec(rank, at_call, mode),),
+        return cls(specs=(FaultSpec(rank, at_call, mode, when),),
                    hang_seconds=hang_seconds)
 
     @classmethod
@@ -112,28 +134,32 @@ class FaultPlan:
 
     @classmethod
     def parse(cls, text: str, hang_seconds: float = 30.0) -> "FaultPlan":
-        """Parse the CLI syntax ``RANK@CALL[:MODE][,RANK@CALL[:MODE]...]``.
+        """Parse the CLI syntax ``RANK@CALL[:MODE[:WHEN]][,...]``.
 
         Examples: ``"2@40"`` (rank 2 dies at its 40th comm call),
         ``"1@25:hang"`` (rank 1 goes silent), ``"2@30:slow"`` (rank 2
-        straggles once, then continues), ``"0@10,3@80"``.
+        straggles once, then continues), ``"0@10,3@80"`` (two faults),
+        ``"2@40,1@2:die:recovery"`` (rank 1 dies inside the shrink that
+        recovery from rank 2's death triggers).
         """
         specs = []
         for item in text.split(","):
             item = item.strip()
             if not item:
                 continue
-            body, _, mode = item.partition(":")
+            body, _, rest = item.partition(":")
+            mode, _, when = rest.partition(":")
             rank_s, sep, call_s = body.partition("@")
             if not sep:
                 raise CommError(
-                    f"bad fault spec {item!r}: expected RANK@CALL[:MODE]"
+                    f"bad fault spec {item!r}: expected RANK@CALL[:MODE[:WHEN]]"
                 )
             try:
                 rank, at_call = int(rank_s), int(call_s)
             except ValueError as exc:
                 raise CommError(f"bad fault spec {item!r}: {exc}") from exc
-            specs.append(FaultSpec(rank, at_call, mode or MODE_DIE))
+            specs.append(FaultSpec(rank, at_call, mode or MODE_DIE,
+                                   when or WHEN_ANY))
         if not specs:
             raise CommError(f"no fault specs in {text!r}")
         return cls(specs=tuple(specs), hang_seconds=hang_seconds)
@@ -142,10 +168,16 @@ class FaultPlan:
         if self.probability > 0.0:
             return (f"p={self.probability} per call "
                     f"(seed {self.seed})")
-        return ",".join(
-            f"{s.rank}@{s.at_call}" + ("" if s.mode == MODE_DIE else f":{s.mode}")
-            for s in self.specs
-        )
+
+        def one(s: FaultSpec) -> str:
+            out = f"{s.rank}@{s.at_call}"
+            if s.mode != MODE_DIE or s.when != WHEN_ANY:
+                out += f":{s.mode}"
+            if s.when != WHEN_ANY:
+                out += f":{s.when}"
+            return out
+
+        return ",".join(one(s) for s in self.specs)
 
 
 def _default_fire(mode: str, hang_seconds: float) -> None:
@@ -180,12 +212,16 @@ class FaultInjectingComm(Comm):
         plan: FaultPlan,
         plan_rank: int | None = None,
         calls: int = 0,
+        recovery_calls: int = 0,
         on_fire: Callable[[str, float], None] = _default_fire,
     ) -> None:
         self.inner = inner
         self.plan = plan
         self.plan_rank = inner.rank if plan_rank is None else plan_rank
         self.calls = calls
+        #: Recovery-scoped counter: 0 until this rank's first ``agree``,
+        #: then every recovery step and post-resume collective counts.
+        self.recovery_calls = recovery_calls
         self._on_fire = on_fire
         self._rng = (
             np.random.default_rng(plan.seed + self.plan_rank)
@@ -196,13 +232,28 @@ class FaultInjectingComm(Comm):
     # -- trigger ----------------------------------------------------------- #
     def _tick(self) -> None:
         self.calls += 1
+        if self.recovery_calls:
+            self.recovery_calls += 1
+        mode = self._firing_mode()
+        if mode is not None:
+            self._on_fire(mode, self.plan.hang_seconds)
+
+    def _tick_recovery(self) -> None:
+        """Advance only the recovery counter (``agree``/``shrink`` are
+        control operations, not application collectives — the primary
+        call counter must stay aligned with the undisturbed schedule)."""
+        self.recovery_calls += 1
         mode = self._firing_mode()
         if mode is not None:
             self._on_fire(mode, self.plan.hang_seconds)
 
     def _firing_mode(self) -> str | None:
         for spec in self.plan.specs:
-            if spec.rank == self.plan_rank and spec.at_call == self.calls:
+            if spec.rank != self.plan_rank:
+                continue
+            counter = (self.recovery_calls if spec.when == WHEN_RECOVERY
+                       else self.calls)
+            if spec.at_call == counter:
                 return spec.mode
         if self._rng is not None:
             if float(self._rng.random()) < self.plan.probability:
@@ -267,16 +318,21 @@ class FaultInjectingComm(Comm):
         self._tick()
         return self.inner.scatter(objs, root, tag)
 
-    # -- recovery (delegated, wrapper preserved) --------------------------- #
+    # -- recovery (wrapper preserved, recovery-scoped triggers fire) ------- #
     def agree(self, failed) -> frozenset[int]:
+        """Entering agreement is recovery call 1: a ``when="recovery"``
+        spec with ``at_call=1`` takes this rank down mid-consensus."""
+        self._tick_recovery()
         return self.inner.agree(failed)
 
     def shrink(self, failed) -> "FaultInjectingComm":
         """Shrink the inner communicator; the wrapper (with its original
-        plan identity and running call counter) survives, so later
-        triggers for this rank still fire after recovery."""
+        plan identity and running call counters) survives, so later
+        triggers for this rank still fire after recovery.  Entering the
+        shrink is recovery call 2 — the fault-during-shrink point."""
+        self._tick_recovery()
         shrunk = self.inner.shrink(failed)
         return FaultInjectingComm(
             shrunk, self.plan, plan_rank=self.plan_rank, calls=self.calls,
-            on_fire=self._on_fire,
+            recovery_calls=self.recovery_calls, on_fire=self._on_fire,
         )

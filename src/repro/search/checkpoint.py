@@ -88,9 +88,26 @@ def save_checkpoint(path, lik, iteration: int, radius: int, logl: float) -> None
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, final)
+        _fsync_dir(final.parent)
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush the directory entry itself: the rename above is only durable
+    once its *directory* hits disk — a crash between rename and dir flush
+    could otherwise leave a restart with no visible checkpoint at all."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic fs without dir opens
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs refuses dir fsync
+        pass
+    finally:
+        os.close(fd)
 
 
 def _edge_name(tree, u, v) -> str:

@@ -1,0 +1,46 @@
+"""Run supervision: escalation-ladder recovery over the live engines.
+
+The in-mesh fault tolerance of PR 1 (agree → shrink → redistribute →
+resume) handles the common case — a rank dies, the survivors absorb its
+share.  This package adds the layers above it, the paper's operational
+reality for multi-day runs on flaky clusters:
+
+* :mod:`repro.supervise.policy` — :class:`RecoveryPolicy`: retry budget,
+  exponential backoff with seeded jitter, per-attempt wall-clock budget,
+  and the ``min_ranks`` quorum below which a shrunk mesh may no longer
+  limp to the finish line;
+* :mod:`repro.supervise.supervisor` — :class:`Supervisor`: drives the
+  escalation ladder (tier 0 in-mesh recovery, tier 1 kill + restart from
+  the latest checkpoint, tier 2 restart degraded — fewer ranks and/or
+  the other data distribution, tier 3 durable failure with the first
+  stall diagnosis attached) and records every attempt as a chain in the
+  run registry;
+* :mod:`repro.supervise.chaos` — seeded chaos campaigns: N runs with
+  randomized multi-fault schedules (die/hang/slow, including faults
+  injected *during* recovery), each asserting the supervision invariant:
+  the run ends bitwise-identical to the undisturbed reference, or fails
+  cleanly at tier 3 naming its diagnosis — never a hang, never a
+  partial result.
+"""
+
+from repro.supervise.policy import RecoveryPolicy
+from repro.supervise.supervisor import (
+    TIER_DEGRADE,
+    TIER_FAIL,
+    TIER_IN_MESH,
+    TIER_RESTART,
+    AttemptRecord,
+    SupervisedOutcome,
+    Supervisor,
+)
+
+__all__ = [
+    "RecoveryPolicy",
+    "Supervisor",
+    "AttemptRecord",
+    "SupervisedOutcome",
+    "TIER_IN_MESH",
+    "TIER_RESTART",
+    "TIER_DEGRADE",
+    "TIER_FAIL",
+]

@@ -1,0 +1,95 @@
+"""The supervisor's knobs: retries, backoff, budgets, quorum.
+
+Everything here is a pure function of the policy and a seeded RNG — no
+wall-clock reads (replicheck R004) and no OS entropy (R001): the jitter
+stream comes from :func:`repro.rng.ensure_rng`, so a supervised run's
+whole retry schedule is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import ensure_rng
+
+__all__ = ["RecoveryPolicy"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How hard (and how wide) the supervisor tries before giving up.
+
+    * ``max_attempts`` — total launches, the first included; when they
+      are exhausted the supervisor declares a tier-3 durable failure.
+    * ``backoff_base_s`` / ``backoff_factor`` / ``backoff_max_s`` —
+      exponential backoff before each retry, capped; jitter up to
+      ``backoff_jitter`` (a fraction of the raw delay) is added from a
+      seeded stream so co-scheduled supervisors don't retry in lockstep
+      yet stay reproducible.
+    * ``attempt_timeout_s`` — per-attempt wall-clock budget, enforced by
+      the launcher's mesh timeout: a wedged attempt is killed and
+      classified, it can never hang the supervisor (``None`` keeps the
+      launcher's default).
+    * ``min_ranks`` — the quorum: in-mesh recovery may shrink the mesh
+      and finish in place (graceful degradation) only while at least
+      this many ranks survive; one fewer raises
+      :class:`~repro.errors.QuorumLostError` and escalates to tier 2.
+    * ``rank_shrink`` — tier-2 degradation factor: a restart at
+      ``max(min_ranks, floor(ranks * rank_shrink))`` ranks sidesteps
+      capacity problems (a flaky node set that keeps killing the wide
+      mesh) rather than retrying into them.
+    """
+
+    max_attempts: int = 4
+    min_ranks: int = 1
+    backoff_base_s: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 30.0
+    backoff_jitter: float = 0.5
+    attempt_timeout_s: float | None = None
+    rank_shrink: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.min_ranks < 1:
+            raise ValueError("min_ranks must be >= 1")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_max_s < self.backoff_base_s:
+            raise ValueError("backoff_max_s must be >= backoff_base_s")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1]")
+        if self.attempt_timeout_s is not None and self.attempt_timeout_s <= 0:
+            raise ValueError("attempt_timeout_s must be positive")
+        if not 0.0 < self.rank_shrink <= 1.0:
+            raise ValueError("rank_shrink must be in (0, 1]")
+
+    def backoff_s(self, retry: int,
+                  rng: np.random.Generator | int | None = None) -> float:
+        """Delay before the ``retry``-th relaunch (``retry`` counts from
+        1).  Raw delay is ``base * factor**(retry-1)`` capped at
+        ``backoff_max_s``; the jittered value lands in
+        ``[raw, raw * (1 + backoff_jitter)]``."""
+        if retry < 1:
+            raise ValueError("retry counts from 1")
+        raw = min(self.backoff_max_s,
+                  self.backoff_base_s * self.backoff_factor ** (retry - 1))
+        return raw * (1.0 + self.backoff_jitter * float(ensure_rng(rng).random()))
+
+    def reduced_ranks(self, n_ranks: int) -> int:
+        """The tier-2 mesh width: shrink by ``rank_shrink``, floored at
+        the quorum (a degraded restart below quorum would be judged too
+        narrow by its own policy)."""
+        return max(self.min_ranks, 1, int(n_ranks * self.rank_shrink))
+
+    @staticmethod
+    def other_dist(dist_kind: str) -> str:
+        """The tier-2 distribution flip: a failure pattern tied to one
+        data layout (e.g. the rank holding a monolithic partition keeps
+        dying) is sidestepped by the other scheme."""
+        return "mps" if dist_kind == "cyclic" else "cyclic"

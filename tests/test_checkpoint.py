@@ -157,6 +157,18 @@ class TestAtomicity:
         save_checkpoint(tmp_path / "bare", lik, 1, 1, logl)
         assert (tmp_path / "bare.npz").exists()
 
+    def test_parent_directory_is_fsynced_after_rename(self, optimized,
+                                                      tmp_path, monkeypatch):
+        # The rename is only durable once the directory entry hits disk;
+        # a crash in between would leave a restart with no checkpoint.
+        import repro.search.checkpoint as cp
+
+        synced = []
+        monkeypatch.setattr(cp, "_fsync_dir", synced.append)
+        aln, scheme, lik, logl = optimized
+        cp.save_checkpoint(tmp_path / "durable.npz", lik, 1, 1, logl)
+        assert synced == [tmp_path]
+
     def test_overwrite_is_all_or_nothing(self, optimized, tmp_path,
                                          monkeypatch):
         aln, scheme, lik, logl = optimized
