@@ -104,6 +104,20 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         raise SystemExit(
             "--monitor needs a distributed engine (the heartbeat "
             "channel observes per-rank collectives)")
+    if args.cancellable and args.engine == "sequential":
+        raise SystemExit(
+            "--cancellable needs a distributed engine (the launcher "
+            "forwards SIGTERM into the rank mesh)")
+    if args.cancellable:
+        # Arm the cooperative flag before any heavy setup: a SIGTERM
+        # that races against job startup (e.g. a service cancelling a
+        # just-launched job) must be remembered, not die by default
+        # action — the launcher's relay takes over once the mesh is up,
+        # and forked ranks inherit both this handler and a set flag.
+        from repro.engines.cancel import install_sigterm_flag, reset_cancel
+
+        reset_cancel()  # a stale flag from an earlier in-process run
+        install_sigterm_flag()
 
     alignment = _load_alignment(args.alignment)
     scheme = read_partition_file(args.partitions) if args.partitions else None
@@ -124,7 +138,11 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         optimize_gtr=not args.no_gtr,
         epsilon=args.epsilon,
         checkpoint_every=args.checkpoint_every,
-        checkpoint_path=args.checkpoint if args.checkpoint_every else None,
+        # cancellable runs write a *final* checkpoint at the cancel
+        # boundary even without periodic checkpointing enabled
+        checkpoint_path=(args.checkpoint
+                         if (args.checkpoint_every or args.cancellable)
+                         else None),
     )
 
     registry = run_id = None
@@ -132,7 +150,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         from repro.obs.registry import RunRegistry
 
         registry = RunRegistry()
-        run_id = registry.register({
+        fields = {
             "command": "infer",
             "engine": args.engine,
             "ranks": args.ranks if args.engine != "sequential" else 1,
@@ -145,9 +163,18 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                 "per_partition_branches": args.per_partition_branches,
             },
             "inject_failure": args.inject_failure,
-        })
-        print(f"run {run_id} registered under {registry.root}",
-              file=sys.stderr)
+        }
+        if args.run_id:
+            # attach to a pre-registered manifest (the serve daemon
+            # registers the job first, then launches this process)
+            run_id = args.run_id
+            registry.attach(run_id, **fields)
+            print(f"run {run_id} attached under {registry.root}",
+                  file=sys.stderr)
+        else:
+            run_id = registry.register(fields)
+            print(f"run {run_id} registered under {registry.root}",
+                  file=sys.stderr)
 
     if args.engine != "sequential":
         from repro.engines.launch import run_decentralized, run_forkjoin
@@ -176,6 +203,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                 policy, engine=args.engine, work_dir=work_dir,
                 registry=registry, run_id=run_id, rng=args.seed,
                 detect_timeout=args.detect_timeout, monitor=args.monitor,
+                cancellable=args.cancellable,
                 log=lambda msg: print(msg, file=sys.stderr),
             )
             outcome = supervisor.run(
@@ -186,12 +214,24 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                            "iterations": outcome.result.iterations,
                            "recoveries": outcome.result.recoveries,
                            "restarts": outcome.result.restarts}
-                          if outcome.ok and outcome.result is not None
+                          if outcome.result is not None
+                          and (outcome.ok or outcome.cancelled)
                           else None)
-                registry.update(
-                    run_id,
-                    status="completed" if outcome.ok else "failed",
-                    result=result)
+                status = ("completed" if outcome.ok
+                          else "cancelled" if outcome.cancelled
+                          else "failed")
+                fields = {"status": status, "result": result}
+                if outcome.cancelled and config.checkpoint_path:
+                    fields["cancel"] = {
+                        "checkpoint": str(config.checkpoint_path)}
+                registry.update(run_id, **fields)
+            if outcome.cancelled:
+                from repro.engines.cancel import CANCEL_EXIT_CODE
+
+                res = outcome.result
+                print(f"cancelled after {res.iterations} iteration(s), "
+                      f"logL = {res.logl:.4f}", file=sys.stderr)
+                return CANCEL_EXIT_CODE
             if not outcome.ok:
                 print(outcome.error, file=sys.stderr)
                 if outcome.diagnosis:
@@ -249,6 +289,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                     sanitize=args.sanitize,
                     monitor_dir=monitor_dir,
                     beat_interval=args.beat_interval,
+                    cancellable=args.cancellable,
                 )
                 survivors = [r for r in replicas if r is not None]
                 if not survivors:
@@ -268,11 +309,12 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                     detect_timeout=args.detect_timeout,
                     monitor_dir=monitor_dir,
                     beat_interval=args.beat_interval,
+                    cancellable=args.cancellable,
                 )
                 if res.restarts:
                     print(f"worker failure: restarted {res.restarts} time(s) "
                           f"from checkpoint", file=sys.stderr)
-            status = "completed"
+            status = "cancelled" if res.cancelled else "completed"
         except MasterLostError as exc:
             # Typed catastrophic outcome: record *why* the run failed
             # (and whether a checkpoint survives) in the manifest, so
@@ -312,9 +354,21 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                           "diagnosis": diagnosis}
                 if failure is not None:
                     fields["failure"] = failure
+                if status == "cancelled" and config.checkpoint_path:
+                    fields["cancel"] = {
+                        "checkpoint": str(config.checkpoint_path)}
                 registry.update(run_id, **fields)
         if res is None:
             return 1
+        if res.cancelled:
+            from repro.engines.cancel import CANCEL_EXIT_CODE
+
+            print(f"cancelled after {res.iterations} iteration(s), "
+                  f"logL = {res.logl:.4f}"
+                  + (f"; checkpoint at {config.checkpoint_path}"
+                     if config.checkpoint_path else ""),
+                  file=sys.stderr)
+            return CANCEL_EXIT_CODE
         newick = res.newick
         if args.output:
             Path(args.output).write_text(newick + "\n")
@@ -842,6 +896,18 @@ def _cmd_runs(args: argparse.Namespace) -> int:
             print()
             print(chain)
         return 0
+    if args.runs_command == "gc":
+        if args.keep_days is None and args.keep_last is None:
+            raise SystemExit("runs gc needs --keep-days and/or --keep-last")
+        pruned = registry.gc(keep_days=args.keep_days,
+                             keep_last=args.keep_last,
+                             dry_run=args.dry_run)
+        verb = "would prune" if args.dry_run else "pruned"
+        for run_id in pruned:
+            print(f"{verb} {run_id}")
+        print(f"{verb} {len(pruned)} run(s) under {registry.root} "
+              f"(running/queued runs are never touched)", file=sys.stderr)
+        return 0
     # compare
     try:
         comparison = compare_runs(registry, args.a, args.b)
@@ -850,6 +916,127 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     print(format_compare_table(comparison))
     if args.out:
         Path(args.out).write_text(json.dumps(comparison, indent=2) + "\n")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the inference service daemon (blocking; SIGTERM drains)."""
+    from repro.serve import ServeDaemon, ServePolicy
+
+    policy = ServePolicy(
+        pool_ranks=args.pool_ranks,
+        max_ranks_per_job=args.max_ranks_per_job,
+        patterns_per_rank=args.patterns_per_rank,
+        max_queue_depth=args.max_queue_depth,
+        tenant_max_ranks=args.tenant_max_ranks,
+        tenant_max_queued=args.tenant_max_queued,
+        aging_rate=args.aging_rate,
+        hol_grace_s=args.hol_grace,
+    )
+    supervise_jobs = None
+    if args.no_supervise_jobs:
+        supervise_jobs = False
+    daemon = ServeDaemon(
+        policy, root=args.root, host=args.host, port=args.port,
+        tick_s=args.tick, supervise_jobs=supervise_jobs,
+    )
+    return daemon.run()
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a job to a running serve daemon over HTTP."""
+    import json
+
+    from repro.serve.client import (
+        ServeClientError,
+        submit_job,
+        wait_for_job,
+    )
+
+    if args.spec:
+        spec = json.loads(Path(args.spec).read_text())
+        if args.alignment:
+            spec["alignment"] = args.alignment
+    else:
+        if not args.alignment:
+            raise SystemExit("submit needs an ALIGNMENT (or --spec FILE)")
+        spec = {"alignment": str(Path(args.alignment).resolve())}
+    for key in ("engine", "model", "dist", "tenant"):
+        value = getattr(args, key)
+        if value is not None:
+            spec[key] = value
+    for key in ("ranks", "priority", "seed", "iterations",
+                "radius", "epsilon"):
+        value = getattr(args, key)
+        if value is not None:
+            spec[key] = value
+    if args.partitions:
+        spec["partitions"] = str(Path(args.partitions).resolve())
+    if args.no_supervise:
+        spec["supervise"] = False
+    try:
+        reply = submit_job(args.url, spec)
+    except ServeClientError as exc:
+        raise SystemExit(str(exc)) from exc
+    job_id = reply["job_id"]
+    print(f"job {job_id} queued ({reply['ranks']} rank(s) budgeted)",
+          file=sys.stderr)
+    if not args.wait:
+        print(job_id)
+        return 0
+    try:
+        manifest = wait_for_job(args.url, job_id, timeout=args.timeout)
+    except ServeClientError as exc:
+        raise SystemExit(str(exc)) from exc
+    status = manifest.get("status")
+    result = manifest.get("result") or {}
+    print(f"job {job_id}: {status}"
+          + (f", logL = {result['logl']:.4f}" if "logl" in result else ""),
+          file=sys.stderr)
+    print(job_id)
+    return 0 if status == "completed" else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """Show one job (or the whole queue) of a running daemon."""
+    import json
+
+    from repro.serve.client import ServeClientError, get_job, list_jobs
+
+    try:
+        if args.job:
+            print(json.dumps(get_job(args.url, args.job), indent=2))
+            return 0
+        reply = list_jobs(args.url)
+    except ServeClientError as exc:
+        raise SystemExit(str(exc)) from exc
+    jobs = reply.get("jobs", [])
+    if not jobs:
+        print("no jobs", file=sys.stderr)
+        return 0
+    header = (f"{'job id':<24} {'status':<10} {'tenant':<10} "
+              f"{'prio':>4} {'ranks':>5} {'engine':<14} note")
+    print(header)
+    print("-" * len(header))
+    for row in jobs:
+        print(f"{row.get('job_id', '?'):<24} {row.get('status', '?'):<10} "
+              f"{str(row.get('tenant', '-')):<10} "
+              f"{str(row.get('priority', '-')):>4} "
+              f"{str(row.get('ranks', '-')):>5} "
+              f"{str(row.get('engine', '-')):<14} "
+              f"{row.get('scheduler_note', '')}")
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    """Cancel a queued or running job (cooperative checkpoint-stop)."""
+    from repro.serve.client import ServeClientError, cancel_job
+
+    try:
+        reply = cancel_job(args.url, args.job)
+    except ServeClientError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(f"job {reply['job_id']}: {reply['state']}")
     return 0
 
 
@@ -1003,6 +1190,18 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--no-register", action="store_true",
                        help="skip writing a manifest to the run registry "
                             "(.repro_runs/ or $REPRO_RUNS_DIR)")
+    infer.add_argument("--run-id", metavar="ID",
+                       help="attach to this (possibly pre-registered) "
+                            "registry run id instead of minting a new "
+                            "one; used by the serve daemon so a job's "
+                            "manifest and its run are one document")
+    infer.add_argument("--cancellable", action="store_true",
+                       help="treat SIGTERM as a cooperative cancel: all "
+                            "ranks agree to stop at the next iteration "
+                            "boundary, a final checkpoint is written "
+                            "(with --checkpoint PATH), the manifest is "
+                            "marked 'cancelled', and the process exits "
+                            "143 (distributed engines only)")
     infer.add_argument("--supervise", action="store_true",
                        help="run under the escalation-ladder supervisor: "
                             "in-mesh recovery first, then kill + restart "
@@ -1294,6 +1493,108 @@ def build_parser() -> argparse.ArgumentParser:
                             "process is dead (default %(default)s)")
     watch.set_defaults(func=_cmd_watch)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the inference service: a durable job queue + "
+             "resource-aware scheduler + HTTP/JSON API multiplexing "
+             "many inference jobs over a bounded rank pool; SIGTERM "
+             "drains gracefully (stop admitting, let jobs finish)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="HTTP port (default 8642; 0 picks a free "
+                            "one and logs it)")
+    serve.add_argument("--root", metavar="DIR",
+                       help="registry root holding the queue (default: "
+                            "$REPRO_RUNS_DIR or ./.repro_runs)")
+    serve.add_argument("--pool-ranks", type=int, default=4,
+                       help="global rank pool shared by all running "
+                            "jobs (default 4)")
+    serve.add_argument("--max-ranks-per-job", type=int, default=0,
+                       help="per-job rank cap (default: the whole pool)")
+    serve.add_argument("--patterns-per-rank", type=int, default=2000,
+                       help="auto-sizing target: compressed alignment "
+                            "patterns per rank (default 2000)")
+    serve.add_argument("--max-queue-depth", type=int, default=64,
+                       help="admission control: reject submissions "
+                            "beyond this many queued jobs (default 64)")
+    serve.add_argument("--tenant-max-ranks", type=int, default=0,
+                       help="max concurrently running ranks per tenant "
+                            "(default: no quota)")
+    serve.add_argument("--tenant-max-queued", type=int, default=0,
+                       help="max queued jobs per tenant (default: no "
+                            "quota)")
+    serve.add_argument("--aging-rate", type=float, default=1.0 / 60.0,
+                       metavar="PRIO_PER_S",
+                       help="priority points a queued job gains per "
+                            "second waited (default 1/60)")
+    serve.add_argument("--hol-grace", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="how long the head-of-line job may be "
+                            "backfilled past before the pool drains "
+                            "for it (default 30)")
+    serve.add_argument("--tick", type=float, default=0.2,
+                       metavar="SECONDS",
+                       help="scheduler tick interval (default 0.2)")
+    serve.add_argument("--no-supervise-jobs", action="store_true",
+                       help="launch jobs without the escalation-ladder "
+                            "supervisor (overrides per-job specs)")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit an inference job to a running serve daemon")
+    submit.add_argument("alignment", nargs="?", default=None,
+                        help="FASTA/PHYLIP/binary alignment path "
+                             "(as seen by the daemon)")
+    submit.add_argument("--spec", metavar="FILE",
+                        help="JSON job spec file (flags override it)")
+    submit.add_argument("--url", default="http://127.0.0.1:8642",
+                        help="daemon base URL (default %(default)s)")
+    submit.add_argument("-q", "--partitions",
+                        help="RAxML-style partition file")
+    submit.add_argument("--engine",
+                        choices=["decentralized", "forkjoin"],
+                        default=None)
+    submit.add_argument("-m", "--model",
+                        choices=["gamma", "psr", "none"], default=None)
+    submit.add_argument("--dist", choices=["cyclic", "mps"], default=None)
+    submit.add_argument("--ranks", type=int, default=None,
+                        help="requested ranks (default: auto-sized "
+                             "from the alignment pre-parse)")
+    submit.add_argument("--priority", type=int, default=None,
+                        help="higher runs earlier (default 0)")
+    submit.add_argument("--tenant", default=None,
+                        help="quota accounting bucket (default "
+                             "'default')")
+    submit.add_argument("-s", "--seed", type=int, default=None)
+    submit.add_argument("-n", "--iterations", type=int, default=None)
+    submit.add_argument("-r", "--radius", type=int, default=None)
+    submit.add_argument("-e", "--epsilon", type=float, default=None)
+    submit.add_argument("--no-supervise", action="store_true",
+                        help="run the job without the supervisor ladder")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job is terminal; exit 0 "
+                             "only on 'completed'")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="--wait timeout in seconds (default 600)")
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="list a serve daemon's jobs (or show one)")
+    status.add_argument("job", nargs="?", default=None,
+                        help="job id (or unique prefix); omit to list")
+    status.add_argument("--url", default="http://127.0.0.1:8642")
+    status.set_defaults(func=_cmd_status)
+
+    cancel = sub.add_parser(
+        "cancel",
+        help="cancel a queued or running job (running jobs stop "
+             "cooperatively at the next iteration and keep a "
+             "checkpoint)")
+    cancel.add_argument("job", help="job id (or unique prefix)")
+    cancel.add_argument("--url", default="http://127.0.0.1:8642")
+    cancel.set_defaults(func=_cmd_cancel)
+
     runs = sub.add_parser(
         "runs",
         help="the persistent run registry (.repro_runs/): list past "
@@ -1309,6 +1610,20 @@ def build_parser() -> argparse.ArgumentParser:
     runs_show.add_argument("run",
                            help="run id, unique prefix, or 'latest'")
     runs_show.set_defaults(func=_cmd_runs)
+    runs_gc = runs_sub.add_parser(
+        "gc",
+        help="prune old terminal run directories (never touches "
+             "running or queued runs)")
+    runs_gc.add_argument("--keep-days", type=float, default=None,
+                         metavar="DAYS",
+                         help="prune terminal runs older than this")
+    runs_gc.add_argument("--keep-last", type=int, default=None,
+                         metavar="N",
+                         help="always keep the N most recent terminal "
+                              "runs, regardless of age")
+    runs_gc.add_argument("--dry-run", action="store_true",
+                         help="list what would be pruned, delete nothing")
+    runs_gc.set_defaults(func=_cmd_runs)
     runs_cmp = runs_sub.add_parser(
         "compare", help="bench-metric delta between two runs")
     runs_cmp.add_argument("a", help="baseline run id/prefix/'latest'")

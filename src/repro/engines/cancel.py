@@ -1,0 +1,115 @@
+"""Cooperative run cancellation: SIGTERM becomes a clean checkpoint-stop.
+
+A launcher armed with ``cancellable=True`` turns ``SIGTERM`` from an
+uncontrolled death into a *cooperative, replica-symmetric* shutdown:
+
+* the parent process (``run_mpi``) forwards the signal to every live
+  rank, so a ``kill <cli-pid>`` (or the serve daemon cancelling a job)
+  reaches the whole mesh;
+* each rank's handler only sets a flag — nothing is interrupted
+  mid-collective;
+* the hill climber polls :func:`agree_stop <make_agree_stop>` once per
+  search iteration.  On the decentralized engine that poll is an
+  ``allreduce(MAX)`` over the per-rank flags, so every replica takes the
+  *same* stop decision at the *same* call site even when signal delivery
+  is skewed across ranks — a unilateral local stop would desynchronize
+  the collective sequence and deadlock the survivors.  The fork-join
+  master decides locally (workers are command-driven and stop when the
+  master broadcasts ``STOP``, the normal end-of-search path);
+* the stopping rank writes a final checkpoint at the iteration boundary
+  (the only state that is guaranteed consistent) before unwinding, so a
+  cancelled job can later be resumed with ``--resume``/``resume_from``.
+
+The flag lives in a module-level event: rank processes are forked, so
+each child owns an independent copy after ``fork`` and a handler in one
+rank cannot leak into another.  Everything here is driver/rank control
+plumbing — the flag never influences likelihood arithmetic, only *when*
+the deterministic iteration loop stops.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.par.comm import Comm, ReduceOp
+
+__all__ = [
+    "CANCEL_EXIT_CODE",
+    "TAG_CANCEL",
+    "cancel_requested",
+    "request_cancel",
+    "reset_cancel",
+    "install_sigterm_flag",
+    "restore_sigterm",
+    "make_agree_stop",
+]
+
+#: Conventional exit status of a cancelled CLI run (128 + SIGTERM).
+CANCEL_EXIT_CODE = 143
+
+#: Table-I-style tag of the stop-agreement allreduce.  Only present when
+#: a launcher was armed with ``cancellable=True`` — the comm-model
+#: reconciliation paths never arm it, so measured byte accounting for
+#: the paper's categories is unchanged.
+TAG_CANCEL = "termination"
+
+_EVENT = threading.Event()
+
+
+def cancel_requested() -> bool:
+    """Has this process been asked to stop?"""
+    return _EVENT.is_set()
+
+
+def request_cancel() -> None:
+    """Ask the current process's searches to stop at the next boundary."""
+    _EVENT.set()
+
+
+def reset_cancel() -> None:
+    """Clear the flag (tests; and launchers before a fresh attempt)."""
+    _EVENT.clear()
+
+
+def install_sigterm_flag() -> Any:
+    """Route SIGTERM to :func:`request_cancel`; returns the old handler.
+
+    Signal handlers can only be installed from the main thread; from any
+    other thread (e.g. a launcher driven by a supervisor test harness)
+    this is a no-op returning ``None`` — the parent-side forwarding in
+    ``run_mpi`` then simply relies on whoever owns the main thread.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return None
+    return signal.signal(signal.SIGTERM, lambda signum, frame: request_cancel())
+
+
+def restore_sigterm(previous: Any) -> None:
+    """Undo :func:`install_sigterm_flag` (no-op when it was one too)."""
+    if previous is None:
+        return
+    if threading.current_thread() is not threading.main_thread():
+        return
+    signal.signal(signal.SIGTERM, previous)
+
+
+def make_agree_stop(comm_of: Callable[[], Comm]) -> Callable[[], bool]:
+    """Build the replica-symmetric stop poll for a decentralized backend.
+
+    ``comm_of`` is evaluated at every poll (not captured once) because
+    in-run fault recovery replaces the backend's communicator; the
+    agreement must run on the *current* shrunk mesh.  The reduction is
+    MAX, so one signalled rank stops everyone — and because every rank
+    polls at the same call site, the collective sequence stays aligned.
+    """
+
+    def agree_stop() -> bool:
+        local = np.array([1.0 if cancel_requested() else 0.0])
+        agreed = comm_of().allreduce(local, ReduceOp.MAX, tag=TAG_CANCEL)
+        return bool(np.asarray(agreed)[0] > 0.0)
+
+    return agree_stop

@@ -77,6 +77,9 @@ class DistributedResult:
     monitor_dir: str | None = None
     #: Path of this rank's progress-event JSONL (None when unmonitored).
     progress_path: str | None = None
+    #: True when the run stopped at a cooperative cancellation point
+    #: (SIGTERM under ``cancellable=True``) instead of finishing.
+    cancelled: bool = False
 
 
 def _rebuild_tree(newick: str, n_branch_sets: int) -> Tree:
@@ -162,6 +165,34 @@ def _close_telemetry(writer, progress, ok: bool) -> None:
     writer.stop(final_phase=final)
 
 
+def _arm_cancellation(backend, payload: dict[str, Any]) -> None:
+    """Attach the cooperative stop poll for a cancellable launch.
+
+    Decentralized backends agree on the stop collectively (every replica
+    polls the same ``allreduce(MAX)`` site, so skewed signal delivery
+    cannot desynchronize the collective sequence); the fork-join master
+    decides locally — its workers are command-driven and stop when it
+    broadcasts the normal end-of-search STOP.  Must be re-attached after
+    in-run recovery replaces the backend (like tracer/progress).
+    """
+    if not payload.get("cancellable"):
+        return
+    from repro.engines.cancel import cancel_requested, make_agree_stop
+
+    if isinstance(backend, DecentralizedBackend):
+        backend.agree_stop = make_agree_stop(lambda: backend.comm)
+    else:
+        backend.agree_stop = cancel_requested
+
+
+def _install_cancel_handler(payload: dict[str, Any]) -> None:
+    """Child-rank half of cooperative cancellation: SIGTERM sets a flag."""
+    if payload.get("cancellable"):
+        from repro.engines.cancel import install_sigterm_flag
+
+        install_sigterm_flag()
+
+
 def _make_obs(payload: dict[str, Any], world_rank: int):
     """Build (tracer, metrics) for one rank; the null tracer (and no
     metrics, and — crucially — no comm wrapper) when tracing is off."""
@@ -219,6 +250,7 @@ def _obs_snapshot(metrics, tracer) -> dict[str, Any]:
 
 def _decentral_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult:
     world0 = comm.rank  # original world rank: names the trace stream
+    _install_cancel_handler(payload)
     tracer, metrics = _make_obs(payload, world0)
     comm, hb_writer, progress = _make_telemetry(
         _maybe_sanitize(comm, payload), payload, world0)
@@ -241,6 +273,7 @@ def _decentral_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult:
     backend = DecentralizedBackend(comm, lik)
     backend.tracer = tracer
     backend.progress = progress
+    _arm_cancellation(backend, payload)
     progress.event("run_start", engine="decentralized", ranks=comm.size,
                    dist=payload["dist_kind"])
 
@@ -288,6 +321,7 @@ def _decentral_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult:
                 comm = backend.comm
                 backend.tracer = tracer
                 backend.progress = progress
+                _arm_cancellation(backend, payload)
                 recoveries += 1
                 if metrics is not None:
                     metrics.counter("recovery.rounds").inc()
@@ -327,6 +361,7 @@ def _decentral_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult:
         monitor_dir=payload.get("monitor_dir"),
         progress_path=(str(progress.stream.path)
                        if progress.stream is not None else None),
+        cancelled=result.cancelled,
     )
 
 
@@ -348,6 +383,7 @@ def run_decentralized(
     min_ranks: int = 1,
     resume_from: str | Path | None = None,
     timeout: float | None = None,
+    cancellable: bool = False,
 ) -> list[DistributedResult]:
     """Run the ExaML scheme on ``n_ranks`` real processes.
 
@@ -399,6 +435,7 @@ def run_decentralized(
         "beat_interval": beat_interval,
         "min_ranks": min_ranks,
         "resume_from": str(resume_from) if resume_from else None,
+        "cancellable": cancellable,
     }
     kwargs: dict[str, Any] = {}
     if timeout is not None:
@@ -409,12 +446,14 @@ def run_decentralized(
         [payload] * n_ranks,
         detect_timeout=detect_timeout,
         allow_failures=fault_plan is not None,
+        forward_sigterm=cancellable,
         **kwargs,
     )
 
 
 def _forkjoin_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult | None:
     world0 = comm.rank
+    _install_cancel_handler(payload)
     tracer, metrics = _make_obs(payload, world0)
     comm, hb_writer, progress = _make_telemetry(comm, payload, world0)
     comm = _wrap_tracing(_maybe_inject(comm, payload), tracer, metrics)
@@ -434,6 +473,7 @@ def _forkjoin_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult | N
             backend = ForkJoinMasterBackend(comm, lik)
             backend.tracer = tracer
             backend.progress = progress
+            _arm_cancellation(backend, payload)
             if resume_from:
                 from repro.search.checkpoint import load_checkpoint, restore_into
 
@@ -483,6 +523,7 @@ def _forkjoin_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult | N
                 iterations=result.iterations,
                 bytes_by_tag=dict(getattr(comm, "bytes_by_tag", {})),
                 restarts=payload.get("restarts", 0),
+                cancelled=result.cancelled,
                 calls_by_tag=dict(getattr(comm, "calls_by_tag", {})),
                 metrics=_obs_snapshot(metrics, tracer),
                 monitor_dir=payload.get("monitor_dir"),
@@ -518,6 +559,7 @@ def run_forkjoin(
     beat_interval: float | None = None,
     resume_from: str | Path | None = None,
     timeout: float | None = None,
+    cancellable: bool = False,
 ) -> DistributedResult:
     """Run the RAxML-Light scheme on ``n_ranks`` real processes.
 
@@ -559,6 +601,7 @@ def run_forkjoin(
         "trace_capacity": trace_capacity,
         "monitor_dir": _prepare_trace_dir(monitor_dir),
         "beat_interval": beat_interval,
+        "cancellable": cancellable,
     }
     if resume_from:
         payload["resume_from"] = str(resume_from)
@@ -580,6 +623,7 @@ def run_forkjoin(
                 _forkjoin_rank,
                 [payload] * n_ranks,
                 detect_timeout=detect_timeout,
+                forward_sigterm=cancellable,
                 **run_kwargs,
             )
             break

@@ -22,11 +22,18 @@ driver-side observability code, never executed inside a replica.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
+import shutil
 import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
+
+try:  # advisory locking is POSIX-only; degrade gracefully elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = [
     "RunRegistry",
@@ -37,11 +44,18 @@ __all__ = [
     "DEFAULT_ROOT_NAME",
     "MANIFEST_FILENAME",
     "BENCH_FILENAME",
+    "LOCK_FILENAME",
+    "TERMINAL_STATUSES",
 ]
 
 DEFAULT_ROOT_NAME = ".repro_runs"
 MANIFEST_FILENAME = "manifest.json"
 BENCH_FILENAME = "bench.json"
+LOCK_FILENAME = ".manifest.lock"
+
+#: Statuses after which a run will never be written again — the only
+#: runs ``gc`` may prune and the ones a restarted daemon need not adopt.
+TERMINAL_STATUSES = frozenset({"completed", "failed", "cancelled"})
 
 
 def runs_root(root: str | Path | None = None) -> Path:
@@ -60,6 +74,29 @@ def _atomic_write(path: Path, text: str) -> None:
     os.replace(tmp, path)
 
 
+@contextlib.contextmanager
+def _manifest_lock(run_dir: Path) -> Iterator[None]:
+    """Advisory exclusive lock serializing one run's manifest writers.
+
+    Concurrent read-modify-write cycles (a job process finalizing its
+    result while the serve daemon stamps queue fields) would otherwise
+    lose updates: both load, both merge, last ``os.replace`` wins.  The
+    lock lives in a sidecar file so the manifest itself stays a plain
+    atomically-replaced JSON document that readers can load lock-free.
+    """
+    run_dir.mkdir(parents=True, exist_ok=True)
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    fd = os.open(run_dir / LOCK_FILENAME, os.O_CREAT | os.O_RDWR, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        yield
+    finally:
+        # closing drops the flock; no explicit LOCK_UN needed
+        os.close(fd)
+
+
 class RunRegistry:
     """Filesystem-backed registry of runs under one root directory."""
 
@@ -68,14 +105,25 @@ class RunRegistry:
 
     # -- writing ------------------------------------------------------- #
     def new_run_id(self) -> str:
-        """Timestamped, collision-proof id (sortable by creation time)."""
+        """Timestamped, collision-proof id (sortable by creation time).
+
+        The id is *reserved* by creating its directory (``mkdir`` is
+        atomic on every filesystem we care about), so two writers in the
+        same process and second — e.g. two HTTP handler threads of the
+        serve daemon — can never be handed the same id.  A mere
+        ``exists()`` probe would race between the check and the write.
+        """
         stamp = time.strftime("%Y%m%d-%H%M%S")
         base = f"{stamp}-{os.getpid()}"
+        self.root.mkdir(parents=True, exist_ok=True)
         run_id, n = base, 1
-        while (self.root / run_id).exists():
-            run_id = f"{base}-{n}"
-            n += 1
-        return run_id
+        while True:
+            try:
+                (self.root / run_id).mkdir()
+                return run_id
+            except FileExistsError:
+                run_id = f"{base}-{n}"
+                n += 1
 
     def register(self, manifest: dict[str, Any]) -> str:
         """Create a run directory and write the initial manifest."""
@@ -89,9 +137,31 @@ class RunRegistry:
 
     def update(self, run_id: str, **fields: Any) -> dict[str, Any]:
         """Merge fields into an existing manifest and rewrite it."""
-        manifest = self.load(run_id)
-        manifest.update(fields)
-        self._write_manifest(run_id, manifest)
+        with _manifest_lock(self.root / run_id):
+            manifest = self.load(run_id)
+            manifest.update(fields)
+            self._write_manifest(run_id, manifest)
+        return manifest
+
+    def attach(self, run_id: str, **fields: Any) -> dict[str, Any]:
+        """Merge fields into ``run_id``'s manifest, creating it if new.
+
+        The serve daemon pre-registers a job manifest and then launches
+        ``repro infer --run-id <id>``: the job process *attaches* to the
+        existing manifest (adding engine config, then later the result)
+        instead of minting a second run.  Also usable standalone to pin
+        a deterministic run id.
+        """
+        with _manifest_lock(self.root / run_id):
+            try:
+                manifest = self.load(run_id)
+            except FileNotFoundError:
+                manifest = {"run_id": run_id,
+                            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                            "status": "running"}
+            manifest.update(fields)
+            manifest["run_id"] = run_id
+            self._write_manifest(run_id, manifest)
         return manifest
 
     def record_attempt(self, run_id: str, attempt: dict[str, Any]) -> dict[str, Any]:
@@ -102,13 +172,14 @@ class RunRegistry:
         manifest tells the whole escalation story, not just the final
         status.  ``repro runs show`` renders the chain as a table.
         """
-        manifest = self.load(run_id)
-        chain = list(manifest.get("attempts") or [])
-        attempt = dict(attempt)
-        attempt.setdefault("attempt", len(chain))
-        chain.append(attempt)
-        manifest["attempts"] = chain
-        self._write_manifest(run_id, manifest)
+        with _manifest_lock(self.root / run_id):
+            manifest = self.load(run_id)
+            chain = list(manifest.get("attempts") or [])
+            attempt = dict(attempt)
+            attempt.setdefault("attempt", len(chain))
+            chain.append(attempt)
+            manifest["attempts"] = chain
+            self._write_manifest(run_id, manifest)
         return manifest
 
     def record_bench(self, run_id: str, bench: dict[str, Any]) -> Path:
@@ -169,6 +240,54 @@ class RunRegistry:
                 f"no run matching {token!r} under {self.root}")
         raise FileNotFoundError(
             f"ambiguous run prefix {token!r}: matches {hits}")
+
+    def gc(
+        self,
+        keep_days: float | None = None,
+        keep_last: int | None = None,
+        now: float | None = None,
+        dry_run: bool = False,
+    ) -> list[str]:
+        """Prune terminal run directories; returns the pruned run ids.
+
+        Only runs whose status is in :data:`TERMINAL_STATUSES` are ever
+        candidates — running or queued runs are untouchable regardless
+        of age (the serve daemon's queue lives in these manifests).  Of
+        the candidates, the ``keep_last`` most recent are always kept;
+        the rest are pruned if they are older than ``keep_days`` (or
+        unconditionally when ``keep_days`` is not given).  With neither
+        bound set, nothing is pruned.
+        """
+        if keep_days is None and keep_last is None:
+            return []
+        if now is None:
+            now = time.time()
+        candidates: list[str] = []
+        for run_id in self.run_ids():  # sorted => oldest first
+            try:
+                manifest = self.load(run_id)
+            except (FileNotFoundError, json.JSONDecodeError):
+                continue  # unreadable: never delete what we can't judge
+            if manifest.get("status") not in TERMINAL_STATUSES:
+                continue
+            candidates.append(run_id)
+        if keep_last is not None and keep_last > 0:
+            candidates = candidates[:-keep_last] or []
+        pruned: list[str] = []
+        for run_id in candidates:
+            if keep_days is not None:
+                created = self.load(run_id).get("created")
+                try:
+                    age_s = now - time.mktime(
+                        time.strptime(str(created), "%Y-%m-%dT%H:%M:%S"))
+                except (ValueError, TypeError, OverflowError):
+                    continue  # unparseable timestamp: keep it
+                if age_s < keep_days * 86400.0:
+                    continue
+            if not dry_run:
+                shutil.rmtree(self.root / run_id, ignore_errors=True)
+            pruned.append(run_id)
+        return pruned
 
     def bench_paths(self) -> list[Path]:
         """Every stored bench record, oldest first — the rolling baseline

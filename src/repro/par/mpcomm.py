@@ -36,6 +36,9 @@ sibling holding a duplicate write end would keep the pipe alive forever).
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import signal
+import threading
 import time
 import traceback
 from collections import defaultdict
@@ -450,6 +453,7 @@ def run_mpi(
     timeout: float = 600.0,
     detect_timeout: float | None = None,
     allow_failures: bool = False,
+    forward_sigterm: bool = False,
 ) -> list[Any]:
     """Run ``fn(comm, payloads[rank])`` on ``n_ranks`` forked processes.
 
@@ -463,6 +467,12 @@ def run_mpi(
     ``allow_failures`` is set, in which case dead ranks simply yield
     ``None`` results (the mode the fault-tolerant launchers use: the
     survivors' results carry the recovery story).
+
+    ``forward_sigterm`` makes the launching process relay a ``SIGTERM``
+    it receives to every live rank (and keep reaping results) instead of
+    dying and orphaning the mesh — the parent half of cooperative
+    cancellation (see :mod:`repro.engines.cancel`).  Only effective when
+    called from the main thread, which owns signal handling.
     """
     if n_ranks < 1:
         raise CommError("need at least one rank")
@@ -471,9 +481,15 @@ def run_mpi(
     if len(payloads) != n_ranks:
         raise CommError("one payload per rank required")
     if n_ranks == 1:
+        from repro.engines.cancel import install_sigterm_flag, restore_sigterm
         from repro.par.seqcomm import SequentialComm
 
-        return [fn(SequentialComm(), payloads[0])]
+        prev = install_sigterm_flag() if forward_sigterm else None
+        try:
+            return [fn(SequentialComm(), payloads[0])]
+        finally:
+            if forward_sigterm:
+                restore_sigterm(prev)
     if detect_timeout is None:
         detect_timeout = min(DEFAULT_DETECT_TIMEOUT, timeout)
 
@@ -506,6 +522,30 @@ def run_mpi(
     errors: list[str] = []
     failed: set[int] = set()
     pending = set(range(n_ranks))
+    prev_sigterm: Any = None
+    sigterm_installed = False
+    if forward_sigterm and threading.current_thread() is threading.main_thread():
+        def _relay(signum: int, frame: Any) -> None:
+            # Relay only — the ranks stop cooperatively at the next
+            # iteration boundary and report results; the parent keeps
+            # reaping.  Dead procs are skipped (ESRCH races are benign).
+            for proc in procs:
+                if proc.is_alive() and proc.pid:
+                    try:
+                        os.kill(proc.pid, signal.SIGTERM)
+                    except OSError:  # pragma: no cover - reaped mid-loop
+                        pass
+
+        prev_sigterm = signal.signal(signal.SIGTERM, _relay)
+        sigterm_installed = True
+        from repro.engines.cancel import cancel_requested
+
+        if cancel_requested():
+            # a SIGTERM landed before the relay existed (caught by an
+            # earlier flag handler, e.g. the CLI's); the ranks forked
+            # after the flag was set inherited it, but a signal arriving
+            # between fork and here did not — deliver it once now
+            _relay(signal.SIGTERM, None)
     try:
         # Poll all ranks round-robin so one rank's early crash surfaces
         # immediately instead of deadlocking its peers until the timeout.
@@ -568,6 +608,8 @@ def run_mpi(
                     )
                 break
     finally:
+        if sigterm_installed:
+            signal.signal(signal.SIGTERM, prev_sigterm)
         # A hung or aborted mesh cannot be joined politely: terminate
         # whatever is still alive first, then reap, then close our pipe
         # ends so nothing leaks across tests.

@@ -76,6 +76,9 @@ class SearchResult:
     insertions_tried: int
     converged: bool
     logl_trace: list[float] = field(default_factory=list)
+    #: True when the search stopped at a cooperative cancellation point
+    #: (SIGTERM under a cancellable launcher) instead of converging.
+    cancelled: bool = False
 
 
 def hill_climb(backend, config: SearchConfig | None = None) -> SearchResult:
@@ -99,12 +102,12 @@ def hill_climb(backend, config: SearchConfig | None = None) -> SearchResult:
     if progress is None:
         progress = NULL_PROGRESS
 
-    def maybe_checkpoint(iteration: int, radius: int, logl: float) -> None:
-        # Periodic checkpointing (RAxML-Light's headline feature): only
-        # backends that expose their full likelihood state can write one,
-        # and in a replicated run only one rank should (all replicas hold
-        # identical state — maximum redundancy, any writer works).
-        if not config.checkpoint_every or iteration % config.checkpoint_every:
+    def write_checkpoint(iteration: int, radius: int, logl: float) -> None:
+        # Only backends that expose their full likelihood state can
+        # write one, and in a replicated run only one rank should (all
+        # replicas hold identical state — maximum redundancy, any
+        # writer works).
+        if not config.checkpoint_path:
             return
         if not getattr(backend, "writes_checkpoints", True):
             return
@@ -115,6 +118,12 @@ def hill_climb(backend, config: SearchConfig | None = None) -> SearchResult:
 
         save_checkpoint(config.checkpoint_path, lik, iteration, radius, logl)
         progress.checkpoint(str(config.checkpoint_path), iteration)
+
+    def maybe_checkpoint(iteration: int, radius: int, logl: float) -> None:
+        # Periodic checkpointing (RAxML-Light's headline feature).
+        if not config.checkpoint_every or iteration % config.checkpoint_every:
+            return
+        write_checkpoint(iteration, radius, logl)
 
     def anchor():
         # SPR moves may delete whichever edge we evaluated at last time;
@@ -146,9 +155,22 @@ def hill_climb(backend, config: SearchConfig | None = None) -> SearchResult:
     moves_total = 0
     insertions_total = 0
     converged = False
+    cancelled = False
     iterations = 0
+    # Cooperative cancellation: launchers armed with ``cancellable=True``
+    # attach an ``agree_stop`` poll (see repro.engines.cancel).  Polled
+    # once per iteration, at the boundary — the only point where tree,
+    # model and CLV state are guaranteed consistent, hence the only
+    # point where a final checkpoint is safe to write.
+    agree_stop = getattr(backend, "agree_stop", None)
 
-    for iterations in range(1, config.max_iterations + 1):
+    for next_iteration in range(1, config.max_iterations + 1):
+        if agree_stop is not None and agree_stop():
+            cancelled = True
+            progress.event("cancelled", iteration=iterations, logl=logl)
+            write_checkpoint(iterations, radius, logl)
+            break
+        iterations = next_iteration
         progress.phase("spr_round", iteration=iterations, radius=radius)
         progress.status(iteration=iterations, radius=radius)
         with tracer.span("spr_round", kind="search", iteration=iterations,
@@ -203,7 +225,8 @@ def hill_climb(backend, config: SearchConfig | None = None) -> SearchResult:
 
     backend.finish()
     progress.event("search_end", logl=logl, iterations=iterations,
-                   moves_accepted=moves_total, converged=converged)
+                   moves_accepted=moves_total, converged=converged,
+                   cancelled=cancelled)
     return SearchResult(
         logl=logl,
         iterations=iterations,
@@ -211,4 +234,5 @@ def hill_climb(backend, config: SearchConfig | None = None) -> SearchResult:
         insertions_tried=insertions_total,
         converged=converged,
         logl_trace=trace,
+        cancelled=cancelled,
     )

@@ -1,0 +1,53 @@
+"""Inference-as-a-service: durable job queue, resource-aware scheduler,
+and a stdlib HTTP/JSON front end over the run registry.
+
+Layering (each module usable on its own):
+
+* :mod:`repro.serve.spec` — job spec validation + alignment pre-parse
+  sizing (taxa × patterns → rank budget);
+* :mod:`repro.serve.scheduler` — pure policy arithmetic: admission,
+  priority aging, tenant quotas, packing with bounded backfill;
+* :mod:`repro.serve.store` — durable queue state as registry manifests
+  (submitted jobs survive daemon restarts);
+* :mod:`repro.serve.daemon` — the scheduler loop launching supervised
+  ``repro infer`` job processes, with graceful SIGTERM drain;
+* :mod:`repro.serve.httpd` — the HTTP routes;
+* :mod:`repro.serve.client` — the urllib client behind ``repro
+  submit|status|cancel``.
+"""
+
+from repro.serve.daemon import DEFAULT_HOST, DEFAULT_PORT, ServeDaemon
+from repro.serve.scheduler import (
+    PendingJob,
+    Selection,
+    ServePolicy,
+    admit,
+    effective_priority,
+    select,
+)
+from repro.serve.spec import (
+    JobSizing,
+    JobSpec,
+    JobSpecError,
+    presize,
+    rank_budget,
+)
+from repro.serve.store import JobStore
+
+__all__ = [
+    "ServeDaemon",
+    "ServePolicy",
+    "PendingJob",
+    "Selection",
+    "JobSpec",
+    "JobSpecError",
+    "JobSizing",
+    "JobStore",
+    "admit",
+    "effective_priority",
+    "select",
+    "presize",
+    "rank_budget",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+]

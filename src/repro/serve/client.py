@@ -1,0 +1,114 @@
+"""Tiny urllib client for the serve HTTP API (used by the CLI verbs).
+
+Stdlib-only by design; raises :class:`ServeClientError` with the
+server's parsed error body on any non-2xx response, so ``repro
+submit|status|cancel`` can print the daemon's actual rejection reason
+("queue full", "tenant quota", ...) instead of a bare status code.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.errors import ReproError
+from repro.obs.registry import TERMINAL_STATUSES
+
+__all__ = [
+    "ServeClientError",
+    "DEFAULT_URL",
+    "request",
+    "submit_job",
+    "get_job",
+    "list_jobs",
+    "cancel_job",
+    "wait_for_job",
+]
+
+DEFAULT_URL = "http://127.0.0.1:8642"
+
+
+class ServeClientError(ReproError):
+    """The daemon answered with an error (or is unreachable)."""
+
+    def __init__(self, message: str, status: int = 0,
+                 body: dict[str, Any] | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.body = body or {}
+
+
+def request(
+    url: str,
+    path: str,
+    method: str = "GET",
+    payload: dict[str, Any] | None = None,
+    timeout: float = 10.0,
+) -> dict[str, Any]:
+    """One JSON round trip to the daemon."""
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode()
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(url.rstrip("/") + path, data=data,
+                                 headers=headers, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return json.loads(resp.read() or b"{}")
+    except urllib.error.HTTPError as exc:
+        try:
+            body = json.loads(exc.read() or b"{}")
+        except json.JSONDecodeError:
+            body = {}
+        reason = body.get("reason") or body.get("error") or str(exc)
+        raise ServeClientError(
+            f"{method} {path} -> {exc.code}: {reason}",
+            status=exc.code, body=body) from exc
+    except urllib.error.URLError as exc:
+        raise ServeClientError(
+            f"cannot reach serve daemon at {url}: {exc.reason}") from exc
+
+
+def submit_job(url: str, spec: dict[str, Any],
+               timeout: float = 30.0) -> dict[str, Any]:
+    return request(url, "/jobs", method="POST", payload=spec,
+                   timeout=timeout)
+
+
+def get_job(url: str, job_id: str, timeout: float = 10.0) -> dict[str, Any]:
+    return request(url, f"/jobs/{job_id}", timeout=timeout)
+
+
+def list_jobs(url: str, timeout: float = 10.0) -> dict[str, Any]:
+    return request(url, "/jobs", timeout=timeout)
+
+
+def cancel_job(url: str, job_id: str,
+               timeout: float = 10.0) -> dict[str, Any]:
+    return request(url, f"/jobs/{job_id}", method="DELETE",
+                   timeout=timeout)
+
+
+def wait_for_job(
+    url: str,
+    job_id: str,
+    timeout: float = 600.0,
+    poll_s: float = 0.5,
+) -> dict[str, Any]:
+    """Poll until the job reaches a terminal status; returns the manifest."""
+    # replicheck: ignore[R004] -- client-side poll deadline; this process never runs replica code
+    deadline = time.monotonic() + timeout
+    while True:
+        manifest = get_job(url, job_id)
+        if manifest.get("status") in TERMINAL_STATUSES:
+            return manifest
+        # replicheck: ignore[R004] -- client-side poll deadline, not replica control flow
+        if time.monotonic() >= deadline:
+            raise ServeClientError(
+                f"job {job_id} still {manifest.get('status')!r} after "
+                f"{timeout:.0f}s")
+        time.sleep(poll_s)

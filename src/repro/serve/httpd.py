@@ -1,0 +1,138 @@
+"""Stdlib HTTP/JSON front end for the serve daemon.
+
+Routes (all JSON unless noted)::
+
+    POST   /jobs        submit a job spec          -> 201 {job_id, ranks}
+    GET    /jobs        list jobs + policy         -> 200
+    GET    /jobs/<id>   one job's full manifest    -> 200
+    DELETE /jobs/<id>   cancel (cooperative)       -> 200 {state}
+    GET    /metrics     Prometheus text exposition -> 200 (text/plain)
+    GET    /healthz     liveness + drain state     -> 200
+
+Built on ``http.server.ThreadingHTTPServer`` — no dependencies beyond
+the standard library, matching the repo's no-new-deps rule.  Handler
+threads only touch the daemon through its small, locked public methods.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.daemon import ServeDaemon
+
+__all__ = ["start_http", "ServeHTTPServer"]
+
+MAX_BODY_BYTES = 1 << 20  # a job spec is small; reject anything huge
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True  # don't let a slow client block drain
+    allow_reuse_address = True
+
+    def __init__(self, addr, handler, serve_daemon: "ServeDaemon") -> None:
+        super().__init__(addr, handler)
+        self.serve_daemon = serve_daemon
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def daemon(self) -> "ServeDaemon":
+        return self.server.serve_daemon  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # route access logs through the daemon's logger (stderr), not
+        # BaseHTTPRequestHandler's hardwired sys.stderr.write
+        self.daemon._log(f"[serve] http {self.address_string()} "
+                         f"{format % args}")
+
+    # -- helpers -------------------------------------------------------- #
+    def _send_json(self, code: int, payload: dict[str, Any]) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, code: int, text: str) -> None:
+        body = text.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _job_id(self) -> str | None:
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) == 2 and parts[0] == "jobs":
+            return parts[1]
+        return None
+
+    def _route(self) -> str:
+        return self.path.split("?")[0].rstrip("/") or "/"
+
+    # -- verbs ---------------------------------------------------------- #
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self._route() != "/jobs":
+            self._send_json(404, {"error": "not_found",
+                                  "reason": f"no route {self.path!r}"})
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            self._send_json(413, {"error": "too_large",
+                                  "reason": "job spec body too large"})
+            return
+        try:
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except json.JSONDecodeError as exc:
+            self._send_json(400, {"error": "bad_json", "reason": str(exc)})
+            return
+        code, body = self.daemon.submit(payload)
+        self._send_json(code, body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        route = self._route()
+        if route == "/healthz":
+            code, body = self.daemon.healthz()
+            self._send_json(code, body)
+            return
+        if route == "/metrics":
+            self._send_text(200, self.daemon.prom_metrics())
+            return
+        if route == "/jobs":
+            code, body = self.daemon.list_jobs()
+            self._send_json(code, body)
+            return
+        job_id = self._job_id()
+        if job_id:
+            code, body = self.daemon.job_status(job_id)
+            self._send_json(code, body)
+            return
+        self._send_json(404, {"error": "not_found",
+                              "reason": f"no route {self.path!r}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        job_id = self._job_id()
+        if not job_id:
+            self._send_json(404, {"error": "not_found",
+                                  "reason": f"no route {self.path!r}"})
+            return
+        code, body = self.daemon.cancel(job_id)
+        self._send_json(code, body)
+
+
+def start_http(
+    daemon: "ServeDaemon", host: str, port: int
+) -> ServeHTTPServer:
+    """Bind and serve in a background thread; returns the server."""
+    server = ServeHTTPServer((host, port), _Handler, daemon)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="serve-http", daemon=True)
+    thread.start()
+    return server

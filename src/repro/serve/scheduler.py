@@ -1,0 +1,182 @@
+"""Pure scheduling policy: admission, priority aging, rank packing.
+
+Everything here is arithmetic over plain data — no clocks, no
+filesystem, no processes — so the policy is exhaustively unit-testable
+(``tests/test_serve_policy.py``) and the daemon stays a thin driver
+around it.  Callers pass ``now_s`` explicitly; the module never reads
+wall time itself.
+
+The selection rule, in order:
+
+1. **Effective priority** = submitted priority + ``aging_rate`` × wait
+   seconds, so starved low-priority jobs eventually overtake a stream
+   of fresh high-priority ones.  Ties break by submission order.
+2. **Tenant quotas**: a job whose tenant already holds
+   ``tenant_max_ranks`` running ranks is skipped (not failed — it stays
+   queued for the next tick).
+3. **Packing with bounded backfill**: grants walk the priority order,
+   fitting jobs into the free-rank pool.  A too-wide job at the head of
+   the queue does not block smaller jobs behind it (backfill) — *until*
+   it has waited ``hol_grace_s``, after which backfill is suspended so
+   the pool drains and the wide job cannot be starved forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "ServePolicy",
+    "PendingJob",
+    "Selection",
+    "admit",
+    "effective_priority",
+    "select",
+    "policy_to_dict",
+]
+
+
+@dataclass(frozen=True)
+class ServePolicy:
+    """The daemon's resource-allocation knobs (all CLI-settable)."""
+
+    #: Global rank pool: total live engine processes across all jobs.
+    pool_ranks: int = 4
+    #: Per-job rank cap; 0 means "up to the whole pool".
+    max_ranks_per_job: int = 0
+    #: Auto-sizing target: compressed patterns one rank should hold.
+    patterns_per_rank: int = 2000
+    #: Admission control: queued jobs beyond this are rejected.
+    max_queue_depth: int = 64
+    #: Max running ranks per tenant; 0 disables the quota.
+    tenant_max_ranks: int = 0
+    #: Max queued jobs per tenant; 0 disables the quota.
+    tenant_max_queued: int = 0
+    #: Priority points gained per second of queue wait.
+    aging_rate: float = 1.0 / 60.0
+    #: Head-of-line grace: how long the top job may be backfilled past
+    #: before the pool is drained for it.
+    hol_grace_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.pool_ranks < 1:
+            raise ValueError("pool_ranks must be positive")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be positive")
+        if self.aging_rate < 0 or self.hol_grace_s < 0:
+            raise ValueError("aging_rate/hol_grace_s must be >= 0")
+
+    @property
+    def job_rank_cap(self) -> int:
+        cap = (self.max_ranks_per_job
+               if self.max_ranks_per_job > 0 else self.pool_ranks)
+        return min(cap, self.pool_ranks)
+
+
+@dataclass(frozen=True)
+class PendingJob:
+    """The scheduler's view of one queued job."""
+
+    job_id: str
+    ranks: int
+    tenant: str = "default"
+    priority: int = 0
+    #: Submission wall time (epoch seconds, stamped by the store).
+    submitted_s: float = 0.0
+    #: Monotonic submission sequence number — the total order that
+    #: breaks priority ties (FIFO among equals).
+    seq: int = 0
+
+
+@dataclass
+class Selection:
+    """What one scheduling pass decided."""
+
+    grants: list[PendingJob] = field(default_factory=list)
+    #: job_id → why it was passed over this tick (stays queued).
+    skipped: dict[str, str] = field(default_factory=dict)
+
+
+def admit(
+    policy: ServePolicy,
+    queued: int,
+    tenant_queued: int,
+) -> tuple[bool, str]:
+    """Admission control for one new submission: (ok, reject_reason)."""
+    if queued >= policy.max_queue_depth:
+        return False, (f"queue full ({queued}/{policy.max_queue_depth} "
+                       f"jobs queued)")
+    if policy.tenant_max_queued and tenant_queued >= policy.tenant_max_queued:
+        return False, (f"tenant queue quota reached "
+                       f"({tenant_queued}/{policy.tenant_max_queued})")
+    return True, ""
+
+
+def effective_priority(
+    policy: ServePolicy, job: PendingJob, now_s: float
+) -> float:
+    """Submitted priority plus aging credit for time spent queued."""
+    waited = max(0.0, now_s - job.submitted_s)
+    return job.priority + policy.aging_rate * waited
+
+
+def select(
+    policy: ServePolicy,
+    pending: list[PendingJob],
+    free_ranks: int,
+    running_by_tenant: dict[str, int] | None = None,
+    now_s: float = 0.0,
+) -> Selection:
+    """One scheduling pass: pick which queued jobs to start now.
+
+    Pure function of its arguments; the daemon calls it every tick with
+    the live queue and pool state.  Granted jobs are removed from the
+    caller's queue; skipped jobs stay queued with a reason (visible in
+    ``GET /jobs``).
+    """
+    running_by_tenant = dict(running_by_tenant or {})
+    order = sorted(
+        pending,
+        key=lambda j: (-effective_priority(policy, j, now_s), j.seq),
+    )
+    out = Selection()
+    free = free_ranks
+    backfilling = True
+    for idx, job in enumerate(order):
+        ranks = min(max(1, job.ranks), policy.job_rank_cap)
+        quota = policy.tenant_max_ranks
+        if quota and running_by_tenant.get(job.tenant, 0) + ranks > quota:
+            out.skipped[job.job_id] = (
+                f"tenant {job.tenant!r} rank quota "
+                f"({running_by_tenant.get(job.tenant, 0)}/{quota} in use)")
+            continue
+        if ranks > free:
+            out.skipped[job.job_id] = (
+                f"waiting for ranks ({ranks} needed, {free} free)")
+            if idx == 0 and now_s - job.submitted_s > policy.hol_grace_s:
+                # The head job has out-waited its grace: stop backfilling
+                # so the pool drains for it instead of being nibbled away
+                # by small jobs forever.
+                backfilling = False
+            if not backfilling:
+                for later in order[idx + 1:]:
+                    out.skipped.setdefault(
+                        later.job_id,
+                        "backfill suspended (head-of-line job out of grace)")
+                break
+            continue
+        out.grants.append(PendingJob(
+            job_id=job.job_id, ranks=ranks, tenant=job.tenant,
+            priority=job.priority, submitted_s=job.submitted_s,
+            seq=job.seq))
+        free -= ranks
+        running_by_tenant[job.tenant] = (
+            running_by_tenant.get(job.tenant, 0) + ranks)
+    return out
+
+
+def policy_to_dict(policy: ServePolicy) -> dict[str, Any]:
+    from dataclasses import asdict
+
+    return asdict(policy)

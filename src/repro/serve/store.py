@@ -1,0 +1,223 @@
+"""Durable job queue on top of the run registry.
+
+Each job IS a run: its registry manifest (``command: "job"``) carries
+the validated spec, the sizing pre-parse, and a ``queue`` block with
+the scheduler's bookkeeping.  The manifest is written *before* the
+submitter gets its job id back, so an acknowledged job survives a
+daemon crash — :meth:`JobStore.recover` re-adopts the whole queue from
+disk at startup (queued jobs stay queued; jobs that were mid-flight
+when the daemon died are re-queued, their half-run superseded by the
+relaunch, unless a cancel was pending).
+
+Job lifecycle (= manifest ``status``)::
+
+    queued -> running -> completed | failed | cancelled
+       \\__________________________________/
+                    (cancel)
+
+The executing ``repro infer --run-id <job_id>`` process attaches to the
+same manifest and writes the terminal status itself; the daemon only
+stamps ``queued``/``running``/launch metadata and reconciles children
+that die without reaching a terminal state.  All writes go through the
+registry's per-run advisory lock, so daemon and job process can never
+lose each other's updates.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.obs.registry import TERMINAL_STATUSES, RunRegistry
+from repro.serve.scheduler import PendingJob
+from repro.serve.spec import JobSizing, JobSpec
+
+__all__ = ["JobStore"]
+
+
+class JobStore:
+    """Registry-backed queue state shared by daemon, HTTP and CLI."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.registry = RunRegistry(root)
+        self._seq_lock = threading.Lock()
+        self._next_seq: int | None = None
+
+    @property
+    def root(self) -> Path:
+        return self.registry.root
+
+    # -- submission ---------------------------------------------------- #
+    def _alloc_seq(self) -> int:
+        with self._seq_lock:
+            if self._next_seq is None:
+                # resume the sequence after a daemon restart so recovered
+                # jobs keep their FIFO position relative to new ones
+                self._next_seq = 1 + max(
+                    (int((m.get("queue") or {}).get("seq", -1))
+                     for m in self.jobs()),
+                    default=-1,
+                )
+            seq = self._next_seq
+            self._next_seq += 1
+            return seq
+
+    def submit(
+        self,
+        spec: JobSpec,
+        sizing: JobSizing,
+        ranks: int,
+        now: float | None = None,
+    ) -> str:
+        """Persist a new queued job; returns its job id (= run id)."""
+        if now is None:
+            # replicheck: ignore[R004] -- submission timestamp for priority aging; daemon-side bookkeeping
+            now = time.time()
+        job_id = self.registry.register({
+            "command": "job",
+            "engine": spec.engine,
+            "ranks": ranks,
+            "dist": spec.dist,
+            "seed": spec.seed,
+            "alignment": spec.alignment,
+            "status": "queued",
+            "job": spec.to_dict(),
+            "sizing": sizing.to_dict(),
+            "queue": {
+                "state": "queued",
+                "ranks": ranks,
+                "tenant": spec.tenant,
+                "priority": spec.priority,
+                "submitted_s": now,
+                "seq": self._alloc_seq(),
+            },
+        })
+        return job_id
+
+    # -- reading ------------------------------------------------------- #
+    def jobs(self) -> list[dict[str, Any]]:
+        """Every job manifest under the root, oldest first.
+
+        A job is recognized by its ``job`` (spec) block, not by
+        ``command``: the executing ``repro infer --run-id`` process
+        attaches to the same manifest and stamps ``command: "infer"``
+        over the store's ``"job"`` — the spec block is the one field
+        only the store writes.
+        """
+        return [m for m in self.registry.list_runs()
+                if m.get("job") is not None]
+
+    def load(self, job_id: str) -> dict[str, Any]:
+        manifest = self.registry.load(job_id)
+        if manifest.get("job") is None:
+            raise FileNotFoundError(f"{job_id!r} is a run, not a job")
+        return manifest
+
+    def pending(self) -> list[PendingJob]:
+        """The queued jobs as the scheduler's :class:`PendingJob` view."""
+        out = []
+        for m in self.jobs():
+            if m.get("status") != "queued":
+                continue
+            q = m.get("queue") or {}
+            out.append(PendingJob(
+                job_id=m["run_id"],
+                ranks=int(q.get("ranks", 1)),
+                tenant=str(q.get("tenant", "default")),
+                priority=int(q.get("priority", 0)),
+                submitted_s=float(q.get("submitted_s", 0.0)),
+                seq=int(q.get("seq", 0)),
+            ))
+        return out
+
+    def queued_counts(self) -> tuple[int, dict[str, int]]:
+        """(total queued, per-tenant queued) for admission control."""
+        per_tenant: dict[str, int] = {}
+        total = 0
+        for job in self.pending():
+            total += 1
+            per_tenant[job.tenant] = per_tenant.get(job.tenant, 0) + 1
+        return total, per_tenant
+
+    # -- state transitions --------------------------------------------- #
+    def mark_running(self, job_id: str, ranks: int, start_seq: int) -> None:
+        """Stamp a grant: the daemon is about to launch this job.
+
+        ``start_seq`` is the daemon's global launch counter — tests (and
+        operators) read it to verify the scheduler's start *order*, which
+        wall-clock stamps can't prove under concurrent launches.
+        """
+        manifest = self.load(job_id)
+        q = dict(manifest.get("queue") or {})
+        q.update(state="running", granted_ranks=ranks, start_seq=start_seq)
+        self.registry.update(job_id, status="running", ranks=ranks, queue=q)
+
+    def request_cancel(self, job_id: str) -> str:
+        """Ask for a job's cancellation; returns the resulting state.
+
+        A queued job is cancelled outright; a running job gets a
+        ``cancel_requested`` stamp (the daemon SIGTERMs its process and
+        the job finalizes itself as ``cancelled``); a terminal job is
+        left alone.
+        """
+        manifest = self.load(job_id)
+        status = manifest.get("status")
+        q = dict(manifest.get("queue") or {})
+        if status == "queued":
+            q["state"] = "cancelled"
+            self.registry.update(job_id, status="cancelled", queue=q)
+            return "cancelled"
+        if status == "running":
+            q["cancel_requested"] = True
+            self.registry.update(job_id, queue=q)
+            return "cancelling"
+        return str(status)
+
+    def finalize_orphan(self, job_id: str) -> str:
+        """Reconcile a job whose process exited without a terminal status.
+
+        Called by the daemon after reaping a child: if the job process
+        died (OOM, crash, kill -9) before writing ``completed`` /
+        ``cancelled`` / ``failed`` itself, record what we know.
+        """
+        manifest = self.load(job_id)
+        status = manifest.get("status")
+        if status in TERMINAL_STATUSES:
+            return str(status)
+        q = dict(manifest.get("queue") or {})
+        new = "cancelled" if q.get("cancel_requested") else "failed"
+        q["state"] = new
+        self.registry.update(
+            job_id, status=new, queue=q,
+            failure={"error": "job_process_died",
+                     "message": "job process exited without recording "
+                                "a terminal status"})
+        return new
+
+    def recover(self) -> list[str]:
+        """Adopt on-disk queue state at daemon startup.
+
+        Returns the ids of jobs that were ``running`` when the previous
+        daemon died and have been re-queued (or cancelled, if a cancel
+        was already pending).  Queued jobs need no action — they are
+        picked up by the next scheduling tick.
+        """
+        requeued = []
+        for m in self.jobs():
+            if m.get("status") != "running":
+                continue
+            job_id = m["run_id"]
+            q = dict(m.get("queue") or {})
+            if q.get("cancel_requested"):
+                q["state"] = "cancelled"
+                self.registry.update(job_id, status="cancelled", queue=q)
+                continue
+            q["state"] = "queued"
+            q.pop("granted_ranks", None)
+            q.pop("start_seq", None)
+            q["requeued"] = int(q.get("requeued", 0)) + 1
+            self.registry.update(job_id, status="queued", queue=q)
+            requeued.append(job_id)
+        return requeued

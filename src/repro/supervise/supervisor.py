@@ -106,6 +106,11 @@ class SupervisedOutcome:
     #: First stall-class monitor diagnosis seen across all attempts.
     diagnosis: dict[str, Any] | None = None
     error: str = ""
+    #: True when the run stopped on a cooperative cancellation (SIGTERM
+    #: under a cancellable launch) — not a success, but not a failure
+    #: the ladder should retry either; ``result`` holds the partial
+    #: state at the stop boundary.
+    cancelled: bool = False
 
 
 class Supervisor:
@@ -129,6 +134,7 @@ class Supervisor:
         rng: np.random.Generator | int | None = None,
         detect_timeout: float | None = None,
         monitor: bool = True,
+        cancellable: bool = False,
         sleep: Callable[[float], None] = time.sleep,
         log: Callable[[str], None] | None = None,
     ) -> None:
@@ -142,6 +148,7 @@ class Supervisor:
         self.rng = ensure_rng(rng)
         self.detect_timeout = detect_timeout
         self.monitor = monitor
+        self.cancellable = cancellable
         self._sleep = sleep
         self._log = log or (lambda msg: None)
 
@@ -202,6 +209,12 @@ class Supervisor:
                     parts, taxa, start_newick, ranks, dist, config,
                     n_branch_sets, plan, resume, monitor_dir)
                 verdict, detail = "ok", ""
+                if result.cancelled:
+                    # A cooperative stop is terminal: the ladder must
+                    # not relaunch a run the operator asked to end.
+                    verdict = "cancelled"
+                    detail = (f"stopped at iteration {result.iterations} "
+                              f"by cooperative cancellation")
             except MasterLostError as exc:
                 verdict, detail = "master_lost", _summarize(exc)
             except CommError as exc:
@@ -227,6 +240,14 @@ class Supervisor:
             )
             attempts.append(record)
             self._record(record)
+            if verdict == "cancelled":
+                self._log(f"[supervise] attempt {attempt} cancelled "
+                          f"cooperatively (tier {tier}, {ranks} rank(s))")
+                self._finalize(False, tier, first_diagnosis, attempts)
+                return SupervisedOutcome(
+                    ok=False, tier=tier, result=result, attempts=attempts,
+                    diagnosis=first_diagnosis, cancelled=True,
+                    error="run cancelled")
             if verdict == "ok":
                 self._log(f"[supervise] attempt {attempt} succeeded "
                           f"(tier {tier}, {ranks} rank(s))")
@@ -268,6 +289,7 @@ class Supervisor:
             fault_plan=plan, detect_timeout=self.detect_timeout,
             monitor_dir=monitor_dir, resume_from=resume,
             timeout=self.policy.attempt_timeout_s,
+            cancellable=self.cancellable,
         )
         if self.engine == "decentralized":
             replicas = run_decentralized(

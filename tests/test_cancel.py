@@ -1,0 +1,158 @@
+"""Cooperative SIGTERM cancellation of live ``repro infer`` runs.
+
+Satellite of the serve PR: a SIGTERM to a ``--cancellable`` run must
+stop it at an iteration boundary — replicas *agree* to stop via an
+extra allreduce rather than dying mid-collective — write a final
+checkpoint, stamp the manifest ``cancelled``, and exit with 143
+(128+SIGTERM).  Exercised for real against 2-rank runs of both
+parallelization schemes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engines.cancel import CANCEL_EXIT_CODE
+from repro.model.substitution import JC69
+from repro.obs.registry import RunRegistry
+from repro.seq.io_fasta import write_fasta
+from repro.seq.simulate import simulate_alignment
+from repro.tree.random_trees import yule_tree
+
+
+@pytest.fixture(scope="module")
+def slow_fasta(tmp_path_factory) -> Path:
+    # big enough that 500 iterations cannot finish before the signal
+    taxa = [f"t{i}" for i in range(24)]
+    tree = yule_tree(taxa, rng=21, mean_branch_length=0.12)
+    aln = simulate_alignment(tree, JC69(), 600, rng=22)
+    path = tmp_path_factory.mktemp("cancel_data") / "slow.fasta"
+    write_fasta(aln, path)
+    return path
+
+
+def launch_infer(slow_fasta: Path, work: Path, engine: str) -> tuple:
+    runs = work / "runs"
+    log = open(work / "run.log", "wb")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "infer", str(slow_fasta),
+         "--engine", engine, "--ranks", "2", "--cancellable",
+         "-n", "500", "-e", "1e-12", "-s", "33",
+         "--checkpoint", str(work / "ckpt.npz"),
+         "-o", str(work / "tree.nwk")],
+        env=dict(os.environ, REPRO_RUNS_DIR=str(runs)),
+        stdout=log, stderr=subprocess.STDOUT)
+    return proc, runs, log
+
+
+def wait_registered(runs: Path, proc: subprocess.Popen) -> str:
+    """Block until the run's manifest exists.
+
+    Registration happens *after* the CLI arms its early SIGTERM flag
+    handler, so from this point on a signal is guaranteed cooperative.
+    """
+    registry = RunRegistry(runs)
+    deadline = time.monotonic() + 60
+    while True:
+        ids = registry.run_ids()
+        if ids:
+            return ids[0]
+        assert proc.poll() is None, "run exited before registering"
+        assert time.monotonic() < deadline, "run never registered"
+        time.sleep(0.05)
+
+
+@pytest.mark.parametrize("engine", ["decentralized", "forkjoin"])
+def test_sigterm_cancels_live_two_rank_run(slow_fasta, tmp_path, engine):
+    proc, runs, log = launch_infer(slow_fasta, tmp_path, engine)
+    try:
+        run_id = wait_registered(runs, proc)
+        # let it actually climb for a moment before pulling the plug
+        time.sleep(2.0)
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=300)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        log.close()
+    assert rc == CANCEL_EXIT_CODE, (tmp_path / "run.log").read_text()
+
+    manifest = RunRegistry(runs).load(run_id)
+    assert manifest["status"] == "cancelled"
+    # the manifest points at the final checkpoint written at the
+    # cancellation boundary, and it is a loadable search state
+    ckpt_path = Path(manifest["cancel"]["checkpoint"])
+    assert ckpt_path == tmp_path / "ckpt.npz"
+    with np.load(ckpt_path) as ckpt:
+        meta = json.loads(bytes(ckpt["__meta__"]).decode())
+    assert {"newick", "iteration", "logl"} <= set(meta)
+    # a cancelled run does not pretend to have produced a final tree
+    assert not (tmp_path / "tree.nwk").exists()
+
+
+def test_uncancellable_run_dies_by_default_action(slow_fasta, tmp_path):
+    """Without ``--cancellable`` nothing intercepts SIGTERM: the run is
+    killed outright (exit != 143, no cancelled manifest).  This pins the
+    opt-in contract — the agreement allreduce must not sneak into
+    default runs, whose collective count is part of the comm model."""
+    runs = tmp_path / "runs"
+    with open(tmp_path / "run.log", "wb") as log:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "infer", str(slow_fasta),
+             "--engine", "decentralized", "--ranks", "2",
+             "-n", "500", "-e", "1e-12", "-s", "33",
+             "-o", str(tmp_path / "tree.nwk")],
+            env=dict(os.environ, REPRO_RUNS_DIR=str(runs)),
+            stdout=log, stderr=subprocess.STDOUT)
+        try:
+            run_id = wait_registered(runs, proc)
+            time.sleep(1.0)
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+    assert rc != 0 and rc != CANCEL_EXIT_CODE
+    manifest = RunRegistry(runs).load(run_id)
+    assert manifest["status"] != "cancelled"
+
+
+def test_cancelled_checkpoint_resumes(slow_fasta, tmp_path):
+    """The checkpoint left by a cancelled run restarts the search: the
+    'fork-join final checkpoint' half of the satellite, exercised the
+    way an operator would actually use it."""
+    proc, runs, log = launch_infer(slow_fasta, tmp_path, "forkjoin")
+    try:
+        run_id = wait_registered(runs, proc)
+        time.sleep(2.0)
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=300) == CANCEL_EXIT_CODE
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        log.close()
+    ckpt = tmp_path / "ckpt.npz"
+    assert ckpt.is_file()
+    # resume from the cancellation checkpoint for a couple of
+    # iterations (--resume is a sequential-engine feature)
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "infer", str(slow_fasta),
+         "--engine", "sequential", "-n", "2", "-s", "33",
+         "--resume", str(ckpt),
+         "-o", str(tmp_path / "resumed.nwk")],
+        env=dict(os.environ, REPRO_RUNS_DIR=str(runs)),
+        capture_output=True, text=True, timeout=600)
+    assert out.returncode == 0, out.stdout + out.stderr
+    assert (tmp_path / "resumed.nwk").is_file()

@@ -9,6 +9,7 @@ acceptance criterion of the observability issue.
 """
 
 import json
+import time
 
 import pytest
 
@@ -70,12 +71,17 @@ class TestRunRegistry:
         assert reg.run_ids() == [run_id]
 
     def test_new_run_ids_never_collide(self):
+        # ids are *reserved* by atomically creating their directory, so
+        # even two allocations in the same process and second (e.g. two
+        # daemon HTTP threads) can never be handed the same id
         reg = RunRegistry()
         first = reg.new_run_id()
-        (reg.root / first).mkdir(parents=True)
         second = reg.new_run_id()
         assert second != first
-        assert not (reg.root / second).exists()
+        assert (reg.root / first).is_dir()
+        assert (reg.root / second).is_dir()
+        # a reserved-but-unwritten id is invisible to readers
+        assert reg.run_ids() == []
 
     def test_resolve_full_prefix_latest_ambiguous(self):
         reg = RunRegistry()
@@ -292,3 +298,111 @@ class TestRegressBaselinePickup:
         captured = capsys.readouterr()
         assert "default baseline(s)" in captured.err
         assert "profile.decentralized.wall_s" in captured.out
+
+
+def _hammer_attempts(root, run_id: str, worker: int, n: int) -> None:
+    reg = RunRegistry(root)
+    for i in range(n):
+        reg.record_attempt(run_id, {"worker": worker, "i": i})
+
+
+class TestManifestLocking:
+    def test_concurrent_writers_never_lose_updates(self):
+        """8 processes x 20 read-modify-write attempt records on ONE
+        manifest; without the per-run advisory lock this interleaves and
+        silently drops records (and can tear the JSON mid-rewrite)."""
+        import multiprocessing as mp
+
+        reg = RunRegistry()
+        run_id = reg.register({"command": "hammer"})
+        ctx = mp.get_context("fork")
+        procs = [
+            ctx.Process(target=_hammer_attempts,
+                        args=(reg.root, run_id, w, 20))
+            for w in range(8)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        manifest = reg.load(run_id)  # also proves the JSON is not torn
+        attempts = manifest["attempts"]
+        assert len(attempts) == 8 * 20
+        seen = {(a["worker"], a["i"]) for a in attempts}
+        assert len(seen) == 8 * 20
+
+
+class TestRunsGc:
+    OLD = "2026-01-01T00:00:00"
+    FRESH = "2026-01-30T00:00:00"
+    NOW = time.mktime(time.strptime("2026-02-01T00:00:00",
+                                    "%Y-%m-%dT%H:%M:%S"))
+
+    def seed(self, reg):
+        """Two old terminal runs, one fresh terminal, one live each way."""
+        for run_id, status, created in [
+            ("run-0", "completed", self.OLD),
+            ("run-1", "failed", self.OLD),
+            ("run-2", "completed", self.FRESH),
+            ("run-3", "running", self.OLD),
+            ("run-4", "queued", self.OLD),
+        ]:
+            reg.register({"run_id": run_id, "status": status,
+                          "created": created})
+
+    def test_no_bounds_is_a_noop(self):
+        reg = RunRegistry()
+        self.seed(reg)
+        assert reg.gc() == []
+        assert len(reg.run_ids()) == 5
+
+    def test_keep_last_spares_newest_terminal_runs(self):
+        reg = RunRegistry()
+        self.seed(reg)
+        pruned = reg.gc(keep_last=2)
+        assert pruned == ["run-0"]
+        assert not (reg.root / "run-0").exists()
+        assert sorted(reg.run_ids()) == ["run-1", "run-2", "run-3",
+                                         "run-4"]
+
+    def test_keep_days_prunes_only_old_terminal_runs(self):
+        reg = RunRegistry()
+        self.seed(reg)
+        pruned = reg.gc(keep_days=7.0, now=self.NOW)
+        assert pruned == ["run-0", "run-1"]  # fresh run-2 is younger
+        assert (reg.root / "run-2").exists()
+
+    def test_live_runs_are_untouchable_regardless_of_age(self):
+        reg = RunRegistry()
+        self.seed(reg)
+        reg.gc(keep_days=0.0, now=self.NOW)  # maximally aggressive
+        assert sorted(reg.run_ids()) == ["run-3", "run-4"]
+
+    def test_bounds_compose(self):
+        reg = RunRegistry()
+        self.seed(reg)
+        # keep the newest terminal run, then age-filter the rest
+        pruned = reg.gc(keep_days=7.0, keep_last=1, now=self.NOW)
+        assert pruned == ["run-0", "run-1"]
+
+    def test_dry_run_reports_without_deleting(self):
+        reg = RunRegistry()
+        self.seed(reg)
+        pruned = reg.gc(keep_last=1, dry_run=True)
+        assert pruned == ["run-0", "run-1"]
+        assert len(reg.run_ids()) == 5
+
+    def test_cli_runs_gc(self, capsys):
+        reg = RunRegistry()
+        self.seed(reg)
+        with pytest.raises(SystemExit):
+            main(["runs", "gc"])  # needs at least one bound
+        assert main(["runs", "gc", "--keep-last", "1", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would prune" in out and "run-0" in out
+        assert main(["runs", "gc", "--keep-days", "0",
+                     "--keep-last", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned" in out
+        assert sorted(reg.run_ids()) == ["run-2", "run-3", "run-4"]

@@ -1,0 +1,479 @@
+"""The inference service: spec sizing, durable store, HTTP API, and the
+live end-to-end acceptance runs (concurrent jobs over a bounded pool,
+bitwise-identical results, priority/quota ordering, graceful drain).
+
+Layered like the subsystem: pure spec/store tests first, an in-process
+HTTP server test (no job processes), then the full daemon-subprocess
+end-to-end tests at the bottom.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.model.substitution import JC69
+from repro.obs.registry import TERMINAL_STATUSES, RunRegistry
+from repro.seq.io_fasta import write_fasta
+from repro.seq.simulate import simulate_alignment
+from repro.serve import (
+    JobSpec,
+    JobSpecError,
+    JobStore,
+    ServeDaemon,
+    ServePolicy,
+    presize,
+)
+from repro.serve.client import (
+    ServeClientError,
+    cancel_job,
+    get_job,
+    list_jobs,
+    request,
+    submit_job,
+    wait_for_job,
+)
+from repro.serve.httpd import start_http
+from repro.tree.random_trees import yule_tree
+
+
+@pytest.fixture(scope="module")
+def fasta_path(tmp_path_factory) -> Path:
+    taxa = [f"t{i}" for i in range(8)]
+    tree = yule_tree(taxa, rng=5, mean_branch_length=0.15)
+    aln = simulate_alignment(tree, JC69(), 240, rng=6)
+    path = tmp_path_factory.mktemp("serve_data") / "aln.fasta"
+    write_fasta(aln, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def big_fasta_path(tmp_path_factory) -> Path:
+    """A workload big enough that a job reliably outlives the few
+    seconds the live tests need it running (pool-filler / drain victim);
+    a tiny alignment can plateau and converge almost immediately even
+    with a minuscule epsilon."""
+    taxa = [f"t{i}" for i in range(24)]
+    tree = yule_tree(taxa, rng=7, mean_branch_length=0.12)
+    aln = simulate_alignment(tree, JC69(), 600, rng=8)
+    path = tmp_path_factory.mktemp("serve_data_big") / "big.fasta"
+    write_fasta(aln, path)
+    return path
+
+
+def free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+# --------------------------------------------------------------------- #
+# spec validation + sizing
+# --------------------------------------------------------------------- #
+class TestJobSpec:
+    def test_round_trip(self, fasta_path):
+        spec = JobSpec.from_dict({"alignment": str(fasta_path),
+                                  "engine": "forkjoin", "priority": 3})
+        assert spec.engine == "forkjoin"
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("payload, match", [
+        ([], "JSON object"),
+        ({}, "alignment"),
+        ({"alignment": "a", "engine": "sequential"}, "engine"),
+        ({"alignment": "a", "dist": "diagonal"}, "dist"),
+        ({"alignment": "a", "model": "jc"}, "model"),
+        ({"alignment": "a", "ranks": -1}, "ranks"),
+        ({"alignment": "a", "epsilon": 0.0}, "epsilon"),
+        ({"alignment": "a", "iterations": 0}, "iterations"),
+        ({"alignment": "a", "tenant": ""}, "tenant"),
+        ({"alignment": "a", "frobnicate": 1}, "unknown"),
+    ])
+    def test_rejects_bad_specs(self, payload, match):
+        with pytest.raises(JobSpecError, match=match):
+            JobSpec.from_dict(payload)
+
+    def test_presize_reads_the_alignment(self, fasta_path):
+        sizing = presize(JobSpec(alignment=str(fasta_path)))
+        assert sizing.taxa == 8
+        assert sizing.sites == 240
+        assert 0 < sizing.patterns <= 240
+        assert sizing.partitions == 1
+        assert sizing.pattern_loads == (sizing.patterns,)
+
+    def test_presize_missing_alignment_is_a_spec_error(self, tmp_path):
+        with pytest.raises(JobSpecError, match="cannot read"):
+            presize(JobSpec(alignment=str(tmp_path / "nope.fasta")))
+
+
+# --------------------------------------------------------------------- #
+# durable store
+# --------------------------------------------------------------------- #
+class TestJobStore:
+    def submit_one(self, store, fasta_path, **overrides):
+        spec = JobSpec.from_dict({"alignment": str(fasta_path),
+                                  **overrides})
+        return store.submit(spec, presize(spec), ranks=2)
+
+    def test_submitted_job_is_durable_before_ack(self, fasta_path):
+        store = JobStore()
+        job_id = self.submit_one(store, fasta_path, priority=4)
+        # a *different* store instance (fresh daemon) sees the job
+        fresh = JobStore()
+        manifest = fresh.load(job_id)
+        assert manifest["status"] == "queued"
+        assert manifest["job"]["priority"] == 4
+        assert manifest["sizing"]["taxa"] == 8
+        [pending] = fresh.pending()
+        assert pending.job_id == job_id and pending.ranks == 2
+
+    def test_seq_is_monotonic_across_restarts(self, fasta_path):
+        store = JobStore()
+        a = self.submit_one(store, fasta_path)
+        b = self.submit_one(store, fasta_path)
+        restarted = JobStore()
+        c = self.submit_one(restarted, fasta_path)
+        seqs = {j.job_id: j.seq for j in restarted.pending()}
+        assert seqs[a] < seqs[b] < seqs[c]
+
+    def test_recover_requeues_interrupted_running_jobs(self, fasta_path):
+        store = JobStore()
+        job_id = self.submit_one(store, fasta_path)
+        store.mark_running(job_id, ranks=2, start_seq=1)
+        assert store.load(job_id)["status"] == "running"
+        # daemon dies here; a new one adopts the queue
+        fresh = JobStore()
+        assert fresh.recover() == [job_id]
+        manifest = fresh.load(job_id)
+        assert manifest["status"] == "queued"
+        assert manifest["queue"]["requeued"] == 1
+        assert "start_seq" not in manifest["queue"]
+
+    def test_recover_honours_pending_cancel(self, fasta_path):
+        store = JobStore()
+        job_id = self.submit_one(store, fasta_path)
+        store.mark_running(job_id, ranks=2, start_seq=1)
+        assert store.request_cancel(job_id) == "cancelling"
+        fresh = JobStore()
+        assert fresh.recover() == []
+        assert fresh.load(job_id)["status"] == "cancelled"
+
+    def test_cancel_queued_is_immediate(self, fasta_path):
+        store = JobStore()
+        job_id = self.submit_one(store, fasta_path)
+        assert store.request_cancel(job_id) == "cancelled"
+        assert store.load(job_id)["status"] == "cancelled"
+        assert store.pending() == []
+
+    def test_finalize_orphan_marks_dead_job_failed(self, fasta_path):
+        store = JobStore()
+        job_id = self.submit_one(store, fasta_path)
+        store.mark_running(job_id, ranks=2, start_seq=1)
+        assert store.finalize_orphan(job_id) == "failed"
+        manifest = store.load(job_id)
+        assert manifest["failure"]["error"] == "job_process_died"
+        # already-terminal jobs are left alone
+        assert store.finalize_orphan(job_id) == "failed"
+
+
+# --------------------------------------------------------------------- #
+# HTTP API (in-process server, no job processes: the daemon never ticks)
+# --------------------------------------------------------------------- #
+class TestHttpApi:
+    @contextlib.contextmanager
+    def api(self, policy, **daemon_kwargs):
+        daemon = ServeDaemon(policy, log=lambda msg: None, **daemon_kwargs)
+        server = start_http(daemon, "127.0.0.1", 0)
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            yield daemon, url
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_submit_status_cancel_metrics(self, fasta_path):
+        with self.api(ServePolicy(pool_ranks=4)) as (daemon, url):
+            reply = submit_job(url, {"alignment": str(fasta_path),
+                                     "ranks": 2, "tenant": "acme"})
+            job_id = reply["job_id"]
+            assert reply["ranks"] == 2
+            assert reply["sizing"]["taxa"] == 8
+
+            manifest = get_job(url, job_id)
+            assert manifest["status"] == "queued"
+            listing = list_jobs(url)
+            assert [j["job_id"] for j in listing["jobs"]] == [job_id]
+            assert listing["policy"]["pool_ranks"] == 4
+
+            health = request(url, "/healthz")
+            assert health["status"] == "ok"
+
+            text_reply = cancel_job(url, job_id)
+            assert text_reply["state"] == "cancelled"
+            assert get_job(url, job_id)["status"] == "cancelled"
+
+            prom = daemon.prom_metrics()
+            assert "repro_serve_jobs_submitted 1" in prom
+            assert "repro_serve_jobs_cancelled 1" in prom
+
+    def test_rejections_carry_reasons(self, fasta_path, tmp_path):
+        policy = ServePolicy(pool_ranks=4, max_queue_depth=1)
+        with self.api(policy) as (daemon, url):
+            # bad spec -> 400
+            with pytest.raises(ServeClientError, match="engine"):
+                submit_job(url, {"alignment": str(fasta_path),
+                                 "engine": "sequential"})
+            # unreadable alignment -> 400 at submission, not at launch
+            with pytest.raises(ServeClientError, match="cannot read"):
+                submit_job(url, {"alignment": str(tmp_path / "no.fasta")})
+            submit_job(url, {"alignment": str(fasta_path)})
+            # queue full -> 429 with the reason in the body
+            with pytest.raises(ServeClientError, match="queue full") as exc:
+                submit_job(url, {"alignment": str(fasta_path)})
+            assert exc.value.status == 429
+            # unknown job / unknown route -> 404
+            with pytest.raises(ServeClientError) as exc:
+                get_job(url, "nonexistent-job")
+            assert exc.value.status == 404
+            with pytest.raises(ServeClientError) as exc:
+                request(url, "/frobnicate")
+            assert exc.value.status == 404
+            assert "repro_serve_jobs_rejected 1" in daemon.prom_metrics()
+
+    def test_draining_daemon_refuses_submissions(self, fasta_path):
+        with self.api(ServePolicy()) as (daemon, url):
+            daemon.drain()
+            with pytest.raises(ServeClientError, match="draining") as exc:
+                submit_job(url, {"alignment": str(fasta_path)})
+            assert exc.value.status == 503
+            assert request(url, "/healthz")["status"] == "draining"
+
+
+# --------------------------------------------------------------------- #
+# live end-to-end: real daemon, real job processes
+# --------------------------------------------------------------------- #
+@contextlib.contextmanager
+def live_daemon(root: Path, *extra_args: str):
+    port = free_port()
+    log_path = root.parent / f"{root.name}-daemon.log"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", str(port), "--root", str(root), "--tick", "0.05",
+         *extra_args],
+        stderr=open(log_path, "wb"),
+    )
+    url = f"http://127.0.0.1:{port}"
+    try:
+        deadline = time.monotonic() + 20
+        while True:
+            try:
+                request(url, "/healthz", timeout=2)
+                break
+            except ServeClientError:
+                if time.monotonic() > deadline or proc.poll() is not None:
+                    raise AssertionError(
+                        f"daemon never came up; log:\n"
+                        f"{log_path.read_text()}")
+                time.sleep(0.1)
+        yield proc, url
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
+def run_standalone(fasta_path: Path, out_dir: Path, *, engine: str,
+                   ranks: int, iterations: int, seed: int) -> dict:
+    """The same spec as a one-shot ``repro infer``; returns the manifest."""
+    runs = out_dir / "standalone_runs"
+    tree_out = out_dir / f"standalone-{engine}-{ranks}.nwk"
+    env = dict(os.environ, REPRO_RUNS_DIR=str(runs))
+    subprocess.run(
+        [sys.executable, "-m", "repro", "infer", str(fasta_path),
+         "--engine", engine, "--ranks", str(ranks), "--dist", "cyclic",
+         "-m", "gamma", "-n", str(iterations), "-r", "5", "-e", "0.1",
+         "-s", str(seed), "-o", str(tree_out)],
+        env=env, check=True, capture_output=True, timeout=600)
+    registry = RunRegistry(runs)
+    manifest = registry.load(registry.resolve("latest"))
+    assert manifest["status"] == "completed"
+    return {"manifest": manifest, "newick": tree_out.read_text()}
+
+
+class TestLiveService:
+    def test_concurrent_jobs_share_pool_bitwise_and_in_order(
+            self, fasta_path, big_fasta_path, tmp_path):
+        """The headline acceptance run: 5 HTTP submissions (1 pool-filler
+        + 4 concurrent), pool of 3 ranks < 7 requested ranks total,
+        priority + tenant-quota start order, results bitwise-identical
+        to standalone ``repro infer`` runs of the same specs."""
+        root = tmp_path / "queue"
+        base = {"alignment": str(fasta_path), "iterations": 3,
+                "seed": 11, "supervise": False}
+        with live_daemon(root, "--pool-ranks", "3",
+                         "--tenant-max-ranks", "3",
+                         "--hol-grace", "300") as (proc, url):
+            # fill the pool with a long cancellable job so the next four
+            # submissions genuinely queue up concurrently
+            filler = submit_job(url, dict(
+                base, alignment=str(big_fasta_path), ranks=3,
+                tenant="filler", iterations=500,
+                epsilon=1e-12))["job_id"]
+            deadline = time.monotonic() + 60
+            while get_job(url, filler)["status"] != "running":
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            # wait until the job process has attached to its manifest
+            # (it stamps command="infer"; its cancel handler is armed
+            # before that point), so the later cancel is guaranteed
+            # cooperative — i.e. leaves a checkpoint
+            while get_job(url, filler).get("command") != "infer":
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+
+            job_a = submit_job(url, dict(  # high priority, 2 ranks
+                base, ranks=2, tenant="t1", priority=5,
+                engine="decentralized"))["job_id"]
+            job_b = submit_job(url, dict(  # same tenant: 2+2 > quota 3
+                base, ranks=2, tenant="t1", priority=0,
+                engine="forkjoin"))["job_id"]
+            job_c = submit_job(url, dict(  # other tenant: backfills
+                base, ranks=1, tenant="t2", priority=0,
+                engine="decentralized"))["job_id"]
+            job_d = submit_job(url, dict(  # low priority, waits for ranks
+                base, ranks=2, tenant="t2", priority=-5,
+                engine="decentralized"))["job_id"]
+            all_jobs = [job_a, job_b, job_c, job_d]
+
+            # release the pool: cooperative cancel of the filler
+            assert cancel_job(url, filler)["state"] == "cancelling"
+
+            deadline = time.monotonic() + 300
+            while True:
+                states = {j: get_job(url, j)["status"] for j in all_jobs}
+                if all(s in TERMINAL_STATUSES for s in states.values()):
+                    break
+                assert time.monotonic() < deadline, f"stuck: {states}"
+                time.sleep(0.2)
+            assert states == {j: "completed" for j in all_jobs}
+            filler_manifest = get_job(url, filler)
+            assert filler_manifest["status"] == "cancelled"
+            # the cancelled filler kept a resume checkpoint
+            assert (root / filler / "checkpoint.npz").is_file()
+
+            store = JobStore(root)
+            seqs = {j: store.load(j)["queue"]["start_seq"]
+                    for j in all_jobs}
+            # priority 5 job starts first; the other tenant's small job
+            # backfills next (same tick); the quota-blocked same-tenant
+            # job and the low-priority wide job only start later
+            assert seqs[job_a] < seqs[job_c]
+            assert seqs[job_c] < seqs[job_b]
+            assert seqs[job_c] < seqs[job_d]
+
+            # every job ran with the granted ranks recorded
+            granted = {j: store.load(j)["queue"]["granted_ranks"]
+                       for j in all_jobs}
+            assert granted == {job_a: 2, job_b: 2, job_c: 1, job_d: 2}
+
+            # scrape /metrics while the daemon is still up (prom
+            # exposition is text, so not via the JSON client helper).
+            # Outcome counters increment at the daemon's reap tick,
+            # which can lag the manifests turning terminal — poll.
+            deadline = time.monotonic() + 30
+            while True:
+                with urllib.request.urlopen(url + "/metrics",
+                                            timeout=10) as resp:
+                    prom = resp.read().decode()
+                if "repro_serve_jobs_completed 4" in prom:
+                    break
+                assert time.monotonic() < deadline, prom
+                time.sleep(0.2)
+            assert "repro_serve_jobs_submitted 5" in prom
+            assert "repro_serve_jobs_cancelled 1" in prom
+
+        # bitwise identity: job result == standalone run of the same
+        # spec at the same granted rank count
+        store = JobStore(root)
+        for job_id, engine in ((job_a, "decentralized"),
+                               (job_b, "forkjoin")):
+            manifest = store.load(job_id)
+            ref = run_standalone(
+                fasta_path, tmp_path, engine=engine,
+                ranks=manifest["queue"]["granted_ranks"],
+                iterations=3, seed=11)
+            assert (manifest["result"]["logl"]
+                    == ref["manifest"]["result"]["logl"]), engine
+            job_newick = (root / job_id / "tree.nwk").read_text()
+            assert job_newick == ref["newick"], engine
+
+    def test_supervised_job_records_attempt_chain(self, fasta_path,
+                                                  tmp_path):
+        root = tmp_path / "queue"
+        with live_daemon(root, "--pool-ranks", "2") as (proc, url):
+            job_id = submit_job(url, {
+                "alignment": str(fasta_path), "ranks": 2,
+                "iterations": 2, "supervise": True})["job_id"]
+            manifest = wait_for_job(url, job_id, timeout=300)
+        assert manifest["status"] == "completed"
+        # the PR-6 supervisor ran inside the job process: the manifest
+        # carries its attempt chain and the monitor directory
+        assert manifest["attempts"][-1]["verdict"] == "ok"
+        assert (root / job_id / "supervise").is_dir()
+
+    def test_sigterm_drains_gracefully(self, fasta_path, big_fasta_path,
+                                       tmp_path):
+        """ISSUE acceptance: SIGTERM during a running job stops
+        admission, the job checkpoint-cancels, the daemon exits 0 and
+        every manifest is terminal — no hang, no orphan."""
+        root = tmp_path / "queue"
+        with live_daemon(root, "--pool-ranks", "2") as (proc, url):
+            job_id = submit_job(url, {
+                "alignment": str(big_fasta_path), "ranks": 2,
+                "iterations": 500, "epsilon": 1e-12,
+                "supervise": False})["job_id"]
+            deadline = time.monotonic() + 60
+            while get_job(url, job_id)["status"] != "running":
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            # as in the e2e test: only cancel once the job process has
+            # attached (cancel handler armed), so it checkpoint-cancels
+            while get_job(url, job_id).get("command") != "infer":
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+
+            proc.send_signal(signal.SIGTERM)
+            # the daemon keeps serving HTTP while draining, but must
+            # refuse new work as soon as the signal lands
+            deadline = time.monotonic() + 30
+            while request(url, "/healthz")["status"] != "draining":
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            with pytest.raises(ServeClientError) as exc:
+                submit_job(url, {"alignment": str(fasta_path)})
+            assert exc.value.status == 503
+            # let the running job go via cooperative cancel, so the
+            # drain finishes promptly ("finish or checkpoint-cancel")
+            cancel_job(url, job_id)
+            assert proc.wait(timeout=120) == 0
+
+        store = JobStore(root)
+        manifests = store.jobs()
+        assert manifests, "job manifests survived"
+        assert all(m["status"] in TERMINAL_STATUSES for m in manifests)
+        cancelled = store.load(job_id)
+        assert cancelled["status"] == "cancelled"
+        assert (root / job_id / "checkpoint.npz").is_file()

@@ -1,0 +1,204 @@
+"""Scheduler policy arithmetic: pure tables, no processes, no clocks.
+
+Mirrors ``test_supervise.py``'s style for the serve layer: every
+packing / aging / quota / admission decision is checked as a pure
+function of explicit inputs (``now_s`` is always passed in), so these
+tests are exhaustive and instant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.scheduler import (
+    PendingJob,
+    ServePolicy,
+    admit,
+    effective_priority,
+    select,
+)
+from repro.serve.spec import JobSizing, JobSpec, rank_budget
+
+
+def job(job_id, ranks=1, tenant="default", priority=0,
+        submitted_s=0.0, seq=0):
+    return PendingJob(job_id=job_id, ranks=ranks, tenant=tenant,
+                      priority=priority, submitted_s=submitted_s, seq=seq)
+
+
+class TestRankBudget:
+    """Alignment pre-parse → rank budget, per distribution."""
+
+    @pytest.mark.parametrize(
+        "patterns, per_rank, max_ranks, expect",
+        [
+            (100, 2000, 8, 1),     # small job packs onto one rank
+            (4000, 2000, 8, 2),
+            (4001, 2000, 8, 3),    # ceil, not floor
+            (100000, 2000, 8, 8),  # wide job clamped to the cap
+            (1, 2000, 8, 1),
+        ],
+    )
+    def test_cyclic_budget_table(self, patterns, per_rank, max_ranks,
+                                 expect):
+        spec = JobSpec(alignment="a.fasta", dist="cyclic", ranks=0)
+        sizing = JobSizing(taxa=8, sites=patterns, patterns=patterns,
+                           partitions=1, pattern_loads=(patterns,))
+        assert rank_budget(spec, sizing, per_rank, max_ranks) == expect
+
+    def test_explicit_request_clamped_not_resized(self):
+        spec = JobSpec(alignment="a.fasta", ranks=6)
+        sizing = JobSizing(taxa=8, sites=10, patterns=10, partitions=1,
+                           pattern_loads=(10,))
+        # honoured up to the cap, even though sizing says 1 rank suffices
+        assert rank_budget(spec, sizing, 2000, 8) == 6
+        assert rank_budget(spec, sizing, 2000, 4) == 4
+
+    def test_mps_monolithic_alignment_gets_one_rank(self):
+        # one partition: mps can never split it, so more ranks are useless
+        spec = JobSpec(alignment="a.fasta", dist="mps", ranks=0)
+        sizing = JobSizing(taxa=8, sites=9000, patterns=9000, partitions=1,
+                           pattern_loads=(9000,))
+        assert rank_budget(spec, sizing, 2000, 8) == 1
+
+    def test_mps_budget_follows_lpt_makespan(self):
+        spec = JobSpec(alignment="a.fasta", dist="mps", ranks=0)
+        sizing = JobSizing(taxa=8, sites=6000, patterns=6000, partitions=4,
+                           pattern_loads=(1500, 1500, 1500, 1500))
+        # 2 ranks -> makespan 3000 > 2000; 3 ranks -> 3000; 4 -> 1500
+        assert rank_budget(spec, sizing, 2000, 8) == 4
+        # a looser target packs onto fewer ranks
+        assert rank_budget(spec, sizing, 3000, 8) == 2
+        # the cap wins even when the target is unmet
+        assert rank_budget(spec, sizing, 1000, 3) == 3
+
+
+class TestAdmission:
+    def test_queue_full_rejects_with_reason(self):
+        policy = ServePolicy(max_queue_depth=2)
+        assert admit(policy, 1, 0) == (True, "")
+        ok, reason = admit(policy, 2, 0)
+        assert not ok and "queue full" in reason
+
+    def test_tenant_queue_quota(self):
+        policy = ServePolicy(tenant_max_queued=2, max_queue_depth=64)
+        assert admit(policy, 10, 1)[0]
+        ok, reason = admit(policy, 10, 2)
+        assert not ok and "tenant queue quota" in reason
+
+    def test_zero_quota_means_unlimited(self):
+        policy = ServePolicy(tenant_max_queued=0)
+        assert admit(policy, 10, 10)[0]
+
+
+class TestPriorityAging:
+    def test_aging_lets_old_low_priority_overtake(self):
+        policy = ServePolicy(aging_rate=1.0)  # 1 priority point / second
+        old_low = job("old", priority=0, submitted_s=0.0, seq=0)
+        new_high = job("new", priority=5, submitted_s=100.0, seq=1)
+        # at t=100 the old job has aged 100 points past the fresh one
+        assert (effective_priority(policy, old_low, 100.0)
+                > effective_priority(policy, new_high, 100.0))
+        sel = select(policy, [new_high, old_low], free_ranks=1,
+                     now_s=100.0)
+        assert [g.job_id for g in sel.grants] == ["old"]
+
+    def test_no_aging_keeps_submission_priority(self):
+        policy = ServePolicy(aging_rate=0.0)
+        sel = select(policy,
+                     [job("low", priority=0, seq=0),
+                      job("high", priority=5, seq=1)],
+                     free_ranks=2, now_s=1e9)
+        assert [g.job_id for g in sel.grants] == ["high", "low"]
+
+    def test_equal_priority_is_fifo_by_seq(self):
+        policy = ServePolicy(aging_rate=0.0)
+        sel = select(policy,
+                     [job("second", seq=7), job("first", seq=3)],
+                     free_ranks=2)
+        assert [g.job_id for g in sel.grants] == ["first", "second"]
+
+
+class TestPacking:
+    def test_small_jobs_pack_until_pool_exhausted(self):
+        policy = ServePolicy(pool_ranks=4, aging_rate=0.0)
+        sel = select(policy,
+                     [job("a", ranks=2, seq=0), job("b", ranks=1, seq=1),
+                      job("c", ranks=1, seq=2), job("d", ranks=1, seq=3)],
+                     free_ranks=4)
+        assert [g.job_id for g in sel.grants] == ["a", "b", "c"]
+        assert "waiting for ranks" in sel.skipped["d"]
+
+    def test_job_wider_than_cap_is_clamped(self):
+        policy = ServePolicy(pool_ranks=4, max_ranks_per_job=2)
+        sel = select(policy, [job("wide", ranks=16)], free_ranks=4)
+        assert sel.grants[0].ranks == 2
+
+    def test_backfill_skips_wide_head_within_grace(self):
+        policy = ServePolicy(pool_ranks=4, aging_rate=0.0,
+                             hol_grace_s=30.0)
+        # head needs 4 ranks but only 2 are free; it just arrived, so the
+        # small job behind it backfills
+        sel = select(policy,
+                     [job("wide", ranks=4, priority=5, submitted_s=0.0),
+                      job("small", ranks=1, seq=1)],
+                     free_ranks=2, now_s=1.0)
+        assert [g.job_id for g in sel.grants] == ["small"]
+        assert "waiting for ranks" in sel.skipped["wide"]
+
+    def test_backfill_suspended_after_hol_grace(self):
+        policy = ServePolicy(pool_ranks=4, aging_rate=0.0,
+                             hol_grace_s=30.0)
+        # same queue, but the wide head has now waited out its grace:
+        # nothing backfills, the pool drains for it
+        sel = select(policy,
+                     [job("wide", ranks=4, priority=5, submitted_s=0.0),
+                      job("small", ranks=1, seq=1)],
+                     free_ranks=2, now_s=31.0)
+        assert sel.grants == []
+        assert "backfill suspended" in sel.skipped["small"]
+
+    def test_tenant_rank_quota_skips_but_others_run(self):
+        policy = ServePolicy(pool_ranks=8, tenant_max_ranks=2,
+                             aging_rate=0.0)
+        sel = select(policy,
+                     [job("t1a", ranks=2, tenant="t1", seq=0),
+                      job("t1b", ranks=1, tenant="t1", seq=1),
+                      job("t2a", ranks=2, tenant="t2", seq=2)],
+                     free_ranks=8)
+        assert [g.job_id for g in sel.grants] == ["t1a", "t2a"]
+        assert "rank quota" in sel.skipped["t1b"]
+
+    def test_quota_counts_already_running_ranks(self):
+        policy = ServePolicy(pool_ranks=8, tenant_max_ranks=3,
+                             aging_rate=0.0)
+        sel = select(policy, [job("t1a", ranks=2, tenant="t1")],
+                     free_ranks=8, running_by_tenant={"t1": 2})
+        assert sel.grants == []
+        assert "rank quota" in sel.skipped["t1a"]
+
+    def test_grants_do_not_mutate_inputs(self):
+        policy = ServePolicy(pool_ranks=4)
+        pending = [job("a", ranks=1)]
+        running = {"default": 1}
+        select(policy, pending, free_ranks=4, running_by_tenant=running)
+        assert running == {"default": 1}
+        assert pending[0].ranks == 1
+
+
+class TestPolicyValidation:
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            ServePolicy(pool_ranks=0)
+        with pytest.raises(ValueError):
+            ServePolicy(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            ServePolicy(aging_rate=-1.0)
+
+    def test_job_rank_cap_defaults_to_pool(self):
+        assert ServePolicy(pool_ranks=6).job_rank_cap == 6
+        assert ServePolicy(pool_ranks=6,
+                           max_ranks_per_job=2).job_rank_cap == 2
+        # a cap wider than the pool is meaningless
+        assert ServePolicy(pool_ranks=4,
+                           max_ranks_per_job=9).job_rank_cap == 4
