@@ -108,6 +108,10 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         raise SystemExit(
             "--cancellable needs a distributed engine (the launcher "
             "forwards SIGTERM into the rank mesh)")
+    if args.trace_dir and args.engine == "sequential":
+        raise SystemExit(
+            "--trace-dir needs a distributed engine (spans are "
+            "per-rank; use 'repro profile' for single-host tracing)")
     if args.cancellable:
         # Arm the cooperative flag before any heavy setup: a SIGTERM
         # that races against job startup (e.g. a service cancelling a
@@ -145,6 +149,16 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                          else None),
     )
 
+    from repro.obs.context import current_trace_id, new_trace_id
+
+    # End-to-end trace context: the serve daemon hands us its trace_id
+    # (flag or env) so our rank spans merge with its scheduler spans;
+    # a standalone traced run mints its own.
+    trace_id = args.trace_id or current_trace_id()
+    trace_dir = Path(args.trace_dir) if args.trace_dir else None
+    if trace_dir is not None and not trace_id:
+        trace_id = new_trace_id()
+
     registry = run_id = None
     if not args.no_register:
         from repro.obs.registry import RunRegistry
@@ -164,6 +178,10 @@ def _cmd_infer(args: argparse.Namespace) -> int:
             },
             "inject_failure": args.inject_failure,
         }
+        if trace_id:
+            fields["trace_id"] = trace_id
+        if trace_dir is not None:
+            fields["trace_dir"] = str(trace_dir)
         if args.run_id:
             # attach to a pre-registered manifest (the serve daemon
             # registers the job first, then launches this process)
@@ -204,6 +222,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                 registry=registry, run_id=run_id, rng=args.seed,
                 detect_timeout=args.detect_timeout, monitor=args.monitor,
                 cancellable=args.cancellable,
+                trace_dir=trace_dir, trace_id=trace_id,
                 log=lambda msg: print(msg, file=sys.stderr),
             )
             outcome = supervisor.run(
@@ -290,6 +309,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                     monitor_dir=monitor_dir,
                     beat_interval=args.beat_interval,
                     cancellable=args.cancellable,
+                    trace_dir=trace_dir, trace_id=trace_id,
                 )
                 survivors = [r for r in replicas if r is not None]
                 if not survivors:
@@ -310,6 +330,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
                     monitor_dir=monitor_dir,
                     beat_interval=args.beat_interval,
                     cancellable=args.cancellable,
+                    trace_dir=trace_dir, trace_id=trace_id,
                 )
                 if res.restarts:
                     print(f"worker failure: restarted {res.restarts} time(s) "
@@ -834,8 +855,10 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     """Live per-rank table over a monitored run's heartbeat channel."""
     from repro.obs.monitor import resolve_monitor_dir, watch_loop
 
+    if args.url:
+        return _watch_events(args.url, args.run)
     try:
-        monitor_dir = resolve_monitor_dir(args.run)
+        monitor_dir = resolve_monitor_dir(args.run, root=args.root)
     except FileNotFoundError as exc:
         raise SystemExit(str(exc)) from exc
     diag = watch_loop(
@@ -848,6 +871,30 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         beat_timeout=args.beat_timeout,
     )
     return 1 if diag.is_stall else 0
+
+
+def _watch_events(url: str, job_id: str) -> int:
+    """Follow a served job's live event stream over HTTP."""
+    from repro.serve.client import ServeClientError, stream_events
+
+    final = None
+    try:
+        for event in stream_events(url, job_id):
+            kind = event.get("event", "?")
+            if kind == "keepalive":
+                continue
+            source = event.get("source", "?")
+            detail = ", ".join(
+                f"{k}={event[k]}" for k in sorted(event)
+                if k not in ("event", "source") and event[k] is not None)
+            print(f"[{source}] {kind}" + (f": {detail}" if detail else ""))
+            if kind == "terminal":
+                final = event.get("status")
+    except ServeClientError as exc:
+        raise SystemExit(str(exc)) from exc
+    except KeyboardInterrupt:
+        return 130
+    return 0 if final == "completed" else 1
 
 
 def _cmd_runs(args: argparse.Namespace) -> int:
@@ -916,6 +963,30 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     print(format_compare_table(comparison))
     if args.out:
         Path(args.out).write_text(json.dumps(comparison, indent=2) + "\n")
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """Offline service-level report from registry manifests alone."""
+    import json
+
+    from repro.obs.slo import collect_job_stats, compute_slo, write_report
+
+    stats = collect_job_stats(args.root)
+    report = compute_slo(stats)
+    if not stats:
+        print("no jobs found under the registry root (nothing the "
+              "serve daemon ever queued there)", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format_markdown(), end="")
+    write_report(report, json_path=args.out, md_path=args.md_out,
+                 bench_path=args.bench_out)
+    for label, path in (("json", args.out), ("markdown", args.md_out),
+                        ("bench", args.bench_out)):
+        if path:
+            print(f"{label} report written to {path}", file=sys.stderr)
     return 0
 
 
@@ -1229,6 +1300,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "attempt is killed and classified instead of "
                             "hanging the supervisor (default: launcher "
                             "default, 600)")
+    infer.add_argument("--trace-dir", metavar="DIR",
+                       help="trace every rank's spans into this "
+                            "directory (trace-rank<R>.jsonl; supervised "
+                            "runs get one subdirectory per attempt), "
+                            "mergeable into one Chrome trace with the "
+                            "daemon's scheduler spans (distributed "
+                            "engines only)")
+    infer.add_argument("--trace-id", metavar="ID",
+                       help="end-to-end trace context to stamp on every "
+                            "span (default: $REPRO_TRACE_ID as set by "
+                            "the serve daemon, else minted when "
+                            "--trace-dir is given)")
     infer.set_defaults(func=_cmd_infer)
 
     sim = sub.add_parser("simulate", help="generate a benchmark alignment")
@@ -1469,7 +1552,18 @@ def build_parser() -> argparse.ArgumentParser:
              "diagnosis (hung rank / straggler / global stall)")
     watch.add_argument("run",
                        help="run id, unique id prefix, 'latest', a run "
-                            "directory, or a monitor directory")
+                            "directory, a monitor directory, or a "
+                            "served job id")
+    watch.add_argument("--root", metavar="DIR",
+                       help="registry root to resolve run/job ids in "
+                            "(default: $REPRO_RUNS_DIR or ./.repro_runs; "
+                            "point it at a serve daemon's --root to "
+                            "watch served jobs)")
+    watch.add_argument("--url", metavar="URL",
+                       help="follow the job's live event stream from a "
+                            "serve daemon over HTTP "
+                            "(GET /jobs/<id>/events) instead of reading "
+                            "heartbeat files locally")
     watch.add_argument("--interval", type=float, default=1.0,
                        metavar="SECONDS",
                        help="seconds between table refreshes "
@@ -1594,6 +1688,25 @@ def build_parser() -> argparse.ArgumentParser:
     cancel.add_argument("job", help="job id (or unique prefix)")
     cancel.add_argument("--url", default="http://127.0.0.1:8642")
     cancel.set_defaults(func=_cmd_cancel)
+
+    slo = sub.add_parser(
+        "slo",
+        help="offline service-level report from registry manifests "
+             "alone: queue-wait / turnaround percentiles, pool "
+             "utilization, per-tenant fairness — no daemon needed")
+    slo.add_argument("--root", metavar="DIR",
+                     help="registry root holding the job manifests "
+                          "(default: $REPRO_RUNS_DIR or ./.repro_runs)")
+    slo.add_argument("--json", action="store_true",
+                     help="print the report as JSON instead of markdown")
+    slo.add_argument("--out", metavar="PATH",
+                     help="also write the JSON report here")
+    slo.add_argument("--md-out", metavar="PATH",
+                     help="also write the markdown report here")
+    slo.add_argument("--bench-out", metavar="PATH",
+                     help="also write a BENCH record here (feed it to "
+                          "'repro regress' to gate on SLO regressions)")
+    slo.set_defaults(func=_cmd_slo)
 
     runs = sub.add_parser(
         "runs",

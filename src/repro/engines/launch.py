@@ -195,14 +195,19 @@ def _install_cancel_handler(payload: dict[str, Any]) -> None:
 
 def _make_obs(payload: dict[str, Any], world_rank: int):
     """Build (tracer, metrics) for one rank; the null tracer (and no
-    metrics, and — crucially — no comm wrapper) when tracing is off."""
+    metrics, and — crucially — no comm wrapper) when tracing is off.
+
+    The launch's ``trace_id`` (an end-to-end lifecycle identity minted
+    by e.g. the serve daemon) rides on the tracer so the flushed stream
+    merges with the daemon's service spans under one id."""
     if not payload.get("trace_dir"):
         return NULL_TRACER, None
     from repro.obs.metrics import MetricsRegistry
 
     capacity = payload.get("trace_capacity")
-    tracer = (Tracer(rank=world_rank, capacity=capacity)
-              if capacity else Tracer(rank=world_rank))
+    trace_id = payload.get("trace_id") or ""
+    tracer = (Tracer(rank=world_rank, capacity=capacity, trace_id=trace_id)
+              if capacity else Tracer(rank=world_rank, trace_id=trace_id))
     return tracer, MetricsRegistry()
 
 
@@ -235,6 +240,9 @@ def _flush_trace(tracer, payload: dict[str, Any],
             "t0_ns": t_ns, "t1_ns": t_ns,
             "attrs": {"dropped_spans": int(tracer.dropped)},
         })
+    if getattr(tracer, "trace_id", ""):
+        for record in records:
+            record["trace_id"] = tracer.trace_id
     path = rank_trace_path(payload["trace_dir"], world_rank)
     write_jsonl(records, path)
     return str(path)
@@ -377,6 +385,7 @@ def run_decentralized(
     detect_timeout: float | None = None,
     trace_dir: str | Path | None = None,
     trace_capacity: int | None = None,
+    trace_id: str = "",
     sanitize: bool = False,
     monitor_dir: str | Path | None = None,
     beat_interval: float | None = None,
@@ -430,6 +439,7 @@ def run_decentralized(
         "fault_plan": fault_plan,
         "trace_dir": _prepare_trace_dir(trace_dir),
         "trace_capacity": trace_capacity,
+        "trace_id": trace_id,
         "sanitize": sanitize,
         "monitor_dir": _prepare_trace_dir(monitor_dir),
         "beat_interval": beat_interval,
@@ -555,6 +565,7 @@ def run_forkjoin(
     max_restarts: int = 1,
     trace_dir: str | Path | None = None,
     trace_capacity: int | None = None,
+    trace_id: str = "",
     monitor_dir: str | Path | None = None,
     beat_interval: float | None = None,
     resume_from: str | Path | None = None,
@@ -599,6 +610,7 @@ def run_forkjoin(
         "fault_plan": fault_plan,
         "trace_dir": _prepare_trace_dir(trace_dir),
         "trace_capacity": trace_capacity,
+        "trace_id": trace_id,
         "monitor_dir": _prepare_trace_dir(monitor_dir),
         "beat_interval": beat_interval,
         "cancellable": cancellable,

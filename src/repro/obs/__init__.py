@@ -29,7 +29,14 @@ multiprocess runs and closes the loop:
 * :mod:`repro.obs.monitor` — parent-side stall diagnosis (hung rank vs
   slow straggler vs global stall) and the ``repro watch`` table;
 * :mod:`repro.obs.registry` — the persistent ``.repro_runs/`` run
-  registry behind ``repro runs list|show|compare``.
+  registry behind ``repro runs list|show|compare``;
+* :mod:`repro.obs.context` — end-to-end trace context: the serve
+  daemon mints a ``trace_id`` per submission, records scheduler spans
+  under it, and propagates it into the job's per-rank tracers so one
+  merged Chrome trace covers submit → queue → launch → iterations;
+* :mod:`repro.obs.slo` — offline service-level analytics (queue-wait /
+  turnaround percentiles, utilization, per-tenant fairness) from
+  registry manifests alone, behind ``repro slo``.
 
 See ``docs/OBSERVABILITY.md`` for the workflow, and ``repro profile`` /
 ``repro scale`` / ``repro regress`` on the CLI for the one-command
@@ -47,8 +54,16 @@ from repro.obs.analyze import (
     load_imbalance,
     match_collectives,
 )
+from repro.obs.context import (
+    current_trace_id,
+    new_trace_id,
+    record_service_spans,
+    service_instant,
+    service_span,
+)
 from repro.obs.export import (
     chrome_trace,
+    merge_job_trace,
     merge_rank_streams,
     rank_trace_path,
     read_jsonl,
@@ -85,6 +100,7 @@ from repro.obs.monitor import (
     format_watch_table,
     watch_loop,
 )
+from repro.obs.metrics import histogram_quantile
 from repro.obs.progress import (
     NULL_PROGRESS,
     NullProgress,
@@ -92,6 +108,14 @@ from repro.obs.progress import (
     ProgressStream,
     progress_path,
     read_progress,
+    read_progress_since,
+)
+from repro.obs.slo import (
+    JobStats,
+    SloReport,
+    collect_job_stats,
+    compute_slo,
+    percentile,
 )
 from repro.obs.reconcile import (
     DECENTRALIZED_REL_TOL,
@@ -146,9 +170,11 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "merge_snapshots",
+    "histogram_quantile",
     "TracingComm",
     "TracedExecutor",
     "chrome_trace",
+    "merge_job_trace",
     "merge_rank_streams",
     "rank_trace_path",
     "read_jsonl",
@@ -174,6 +200,17 @@ __all__ = [
     "ProgressStream",
     "progress_path",
     "read_progress",
+    "read_progress_since",
+    "current_trace_id",
+    "new_trace_id",
+    "record_service_spans",
+    "service_instant",
+    "service_span",
+    "JobStats",
+    "SloReport",
+    "collect_job_stats",
+    "compute_slo",
+    "percentile",
     "DEFAULT_BEAT_TIMEOUT",
     "DEFAULT_STALL_AFTER",
     "DEFAULT_STRAGGLER_AFTER",

@@ -34,6 +34,7 @@ __all__ = [
     "read_jsonl",
     "rank_trace_path",
     "merge_rank_streams",
+    "merge_job_trace",
     "chrome_trace",
     "write_chrome_trace",
     "snapshot_to_prom",
@@ -113,6 +114,26 @@ def merge_rank_streams(paths: Iterable[str | Path]) -> list[dict[str, Any]]:
     return merged
 
 
+def merge_job_trace(run_dir: str | Path) -> list[dict[str, Any]]:
+    """Merge a served job's daemon + per-rank span streams into one list.
+
+    The daemon writes its scheduler-lifecycle spans (pseudo-rank ``-1``,
+    kind ``service``) to ``<run_dir>/trace-daemon.jsonl``; the job's
+    rank meshes write ``trace-rank<N>.jsonl`` files anywhere below the
+    run directory (directly under ``trace/`` for plain jobs, under
+    ``trace/attempt<K>/`` for supervised relaunches).  All streams share
+    the monotonic host clock, so the usual sort yields the true
+    submit → queue → launch → iterations → completion interleaving.
+    """
+    run_dir = Path(run_dir)
+    paths: list[Path] = []
+    daemon_stream = run_dir / "trace-daemon.jsonl"
+    if daemon_stream.exists():
+        paths.append(daemon_stream)
+    paths.extend(sorted(run_dir.rglob("trace-rank*.jsonl")))
+    return merge_rank_streams(paths)
+
+
 def chrome_trace(spans: Iterable[dict[str, Any] | Span]) -> dict[str, Any]:
     """Convert (merged) spans to a Chrome/Perfetto ``traceEvents`` dict."""
     records = [
@@ -122,9 +143,22 @@ def chrome_trace(spans: Iterable[dict[str, Any] | Span]) -> dict[str, Any]:
         return {"traceEvents": [], "displayTimeUnit": "ms"}
     base = min(r["t0_ns"] for r in records)
     events: list[dict[str, Any]] = []
-    # Stable small-int thread ids per (rank, kind), named via metadata.
+    # Stable small-int thread ids per (rank, kind), named via metadata;
+    # each pid (= rank, or -1 for the serve daemon) also gets a
+    # process_name track so merged job traces read "daemon" / "rank N".
     tids: dict[tuple[int, str], int] = {}
+    named_pids: set[int] = set()
     for rec in records:
+        if rec["rank"] not in named_pids:
+            named_pids.add(rec["rank"])
+            events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": rec["rank"],
+                "tid": 0,
+                "args": {"name": ("daemon" if rec["rank"] < 0
+                                  else f"rank {rec['rank']}")},
+            })
         key = (rec["rank"], rec["kind"])
         if key not in tids:
             tid = len([k for k in tids if k[0] == rec["rank"]]) + 1
@@ -143,6 +177,8 @@ def chrome_trace(spans: Iterable[dict[str, Any] | Span]) -> dict[str, Any]:
             args["nbytes"] = rec["nbytes"]
         if rec.get("error"):
             args["error"] = True
+        if rec.get("trace_id"):
+            args["trace_id"] = rec["trace_id"]
         event: dict[str, Any] = {
             "name": rec["name"],
             "cat": rec.get("kind", ""),

@@ -23,7 +23,18 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "merge_snapshots",
+    "DEFAULT_TIME_BOUNDS",
+    "histogram_quantile",
 ]
+
+#: Default latency bucket edges (seconds) for service-level histograms
+#: (queue wait, scheduling latency, run duration).  Spans five orders of
+#: magnitude: sub-tick scheduling up to multi-minute runs; anything
+#: longer lands in the implicit ``+Inf`` overflow.
+DEFAULT_TIME_BOUNDS: tuple[float, ...] = (
+    0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+    60.0, 120.0, 300.0, 600.0,
+)
 
 
 @dataclass
@@ -141,6 +152,38 @@ class MetricsRegistry:
                 k: v.to_dict() for k, v in sorted(self.histograms.items())
             },
         }
+
+
+def histogram_quantile(hist: dict[str, Any], q: float) -> float:
+    """Prometheus-style quantile estimate over a bucketed histogram dict.
+
+    ``hist`` is one entry of a snapshot's ``histograms`` map (or of a
+    :func:`merge_snapshots` result) carrying per-bucket counts.  Linear
+    interpolation inside the target bucket, exactly as PromQL's
+    ``histogram_quantile`` — so a dashboard's reading and an offline
+    report computed from the same buckets agree.  The overflow bucket
+    (observations above the last edge) is clamped to the last finite
+    edge; the true summary ``max`` is a better bound there.  Returns 0.0
+    for empty or bucketless histograms.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    buckets = hist.get("buckets")
+    total = int(hist.get("count", 0))
+    if not buckets or not total:
+        return 0.0
+    target = q * total
+    cumulative = 0
+    lower = 0.0
+    for edge in sorted(buckets, key=float):
+        upper = float(edge)
+        in_bucket = int(buckets[edge])
+        if cumulative + in_bucket >= target and in_bucket > 0:
+            fraction = (target - cumulative) / in_bucket
+            return lower + (upper - lower) * max(0.0, min(1.0, fraction))
+        cumulative += in_bucket
+        lower = upper
+    return lower  # target sits in the +Inf overflow: clamp to last edge
 
 
 def merge_snapshots(snapshots: list[dict[str, Any]]) -> dict[str, Any]:

@@ -463,16 +463,19 @@ def watch_loop(
         time.sleep(interval)
 
 
-def resolve_monitor_dir(token: str) -> Path:
+def resolve_monitor_dir(token: str, root: str | Path | None = None) -> Path:
     """Turn a `repro watch` argument into a monitor directory: a
     directory path is used as-is; anything else is resolved as a run id
-    (or unique prefix, or ``latest``) through the run registry."""
+    — or a *served job id* — via the run registry's resolve machinery
+    (full id, unique prefix, or ``latest``).  ``root`` points at an
+    explicit registry root (e.g. a serve daemon's ``--root``); default
+    is ``$REPRO_RUNS_DIR`` / ``./.repro_runs``."""
     path = Path(token)
     if path.is_dir() and not (path / "manifest.json").exists():
         return path
     from repro.obs.registry import RunRegistry
 
-    registry = RunRegistry()
+    registry = RunRegistry(root)
     if path.is_dir():  # a run directory itself
         registry = RunRegistry(path.parent)
         token = path.name

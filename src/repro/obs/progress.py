@@ -45,6 +45,7 @@ __all__ = [
     "NULL_PROGRESS",
     "progress_path",
     "read_progress",
+    "read_progress_since",
 ]
 
 
@@ -95,12 +96,32 @@ class ProgressStream:
 def read_progress(path: str | Path) -> list[dict[str, Any]]:
     """Read a progress stream back; tolerates a torn trailing line
     (the writer may be mid-event when a live reader polls)."""
+    return read_progress_since(path, 0)[0]
+
+
+def read_progress_since(
+    path: str | Path, offset: int
+) -> tuple[list[dict[str, Any]], int]:
+    """Incremental tail of a progress stream: ``(new events, new offset)``.
+
+    ``offset`` is a byte position from a previous call (0 to start).
+    Only *complete* lines are consumed — a torn trailing line (the
+    writer flushes per event, but a poll can still land mid-write) stays
+    unconsumed and is retried at the next poll, so followers like the
+    ``/jobs/<id>/events`` stream never emit a half-event or skip one.
+    Unparseable complete lines are skipped but still advance the offset.
+    """
     out: list[dict[str, Any]] = []
     try:
-        lines = Path(path).read_text().splitlines()
+        with Path(path).open("rb") as fh:
+            fh.seek(offset)
+            data = fh.read()
     except OSError:
-        return out
-    for line in lines:
+        return out, offset
+    end = data.rfind(b"\n")
+    if end < 0:
+        return out, offset
+    for line in data[: end + 1].splitlines():
         line = line.strip()
         if not line:
             continue
@@ -108,7 +129,7 @@ def read_progress(path: str | Path) -> list[dict[str, Any]]:
             out.append(json.loads(line))
         except json.JSONDecodeError:
             continue
-    return out
+    return out, offset + end + 1
 
 
 class ProgressReporter:

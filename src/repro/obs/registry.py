@@ -182,6 +182,20 @@ class RunRegistry:
             self._write_manifest(run_id, manifest)
         return manifest
 
+    def progress_paths(self, run_id: str) -> list[Path]:
+        """Every progress stream below a run's directory, sorted.
+
+        Plain monitored runs keep ``progress-rank<N>.jsonl`` under
+        ``<run>/monitor/``; supervised runs under per-attempt
+        ``supervise/attempt<K>/monitor/`` dirs.  A recursive glob finds
+        both (and whatever future layouts), so live followers like the
+        serve layer's job event stream need no layout knowledge.
+        """
+        run_dir = self.root / run_id
+        if not run_dir.is_dir():
+            return []
+        return sorted(run_dir.rglob("progress-rank*.jsonl"))
+
     def record_bench(self, run_id: str, bench: dict[str, Any]) -> Path:
         """Store a regress-compatible bench record alongside the run."""
         path = self.root / run_id / BENCH_FILENAME

@@ -87,15 +87,24 @@ class _SpanContext:
 
 
 class Tracer:
-    """Process-local span recorder with a bounded ring buffer."""
+    """Process-local span recorder with a bounded ring buffer.
+
+    ``trace_id`` (optional) tags the stream with an end-to-end lifecycle
+    identity minted by whoever started the run — e.g. the serve daemon
+    at HTTP submission time (see :mod:`repro.obs.context`).  The
+    exporter stamps it onto every flushed record so daemon-side service
+    spans and rank-side spans of one job merge under a single id.
+    """
 
     enabled = True
 
-    def __init__(self, rank: int = 0, capacity: int = DEFAULT_CAPACITY) -> None:
+    def __init__(self, rank: int = 0, capacity: int = DEFAULT_CAPACITY,
+                 trace_id: str = "") -> None:
         if capacity < 1:
             raise ValueError("tracer capacity must be positive")
         self.rank = rank
         self.capacity = capacity
+        self.trace_id = trace_id
         self._spans: deque[Span] = deque(maxlen=capacity)
         self.dropped = 0
 
@@ -190,6 +199,7 @@ class NullTracer:
     enabled = False
     rank = -1
     dropped = 0
+    trace_id = ""
 
     def span(self, name: str, kind: str = "", category: str = "",
              nbytes: int = 0, **attrs: Any) -> _NullContext:

@@ -12,11 +12,14 @@ Layering (each module usable on its own):
 * :mod:`repro.serve.daemon` — the scheduler loop launching supervised
   ``repro infer`` job processes, with graceful SIGTERM drain;
 * :mod:`repro.serve.httpd` — the HTTP routes;
+* :mod:`repro.serve.events` — live job event streams (daemon lifecycle
+  merged with per-rank progress) behind ``GET /jobs/<id>/events``;
 * :mod:`repro.serve.client` — the urllib client behind ``repro
-  submit|status|cancel``.
+  submit|status|cancel|watch``.
 """
 
 from repro.serve.daemon import DEFAULT_HOST, DEFAULT_PORT, ServeDaemon
+from repro.serve.events import iter_job_events, lifecycle_events
 from repro.serve.scheduler import (
     PendingJob,
     Selection,
@@ -48,6 +51,8 @@ __all__ = [
     "select",
     "presize",
     "rank_budget",
+    "iter_job_events",
+    "lifecycle_events",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
 ]

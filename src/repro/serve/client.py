@@ -26,6 +26,7 @@ __all__ = [
     "list_jobs",
     "cancel_job",
     "wait_for_job",
+    "stream_events",
 ]
 
 DEFAULT_URL = "http://127.0.0.1:8642"
@@ -91,6 +92,46 @@ def cancel_job(url: str, job_id: str,
                timeout: float = 10.0) -> dict[str, Any]:
     return request(url, f"/jobs/{job_id}", method="DELETE",
                    timeout=timeout)
+
+
+def stream_events(
+    url: str,
+    job_id: str,
+    timeout: float = 30.0,
+):
+    """Follow ``GET /jobs/<id>/events``, yielding one dict per line.
+
+    The connection stays open until the job goes terminal (the server
+    closes it after the ``terminal`` event); ``timeout`` is the socket
+    read timeout between lines, not a cap on the whole stream — the
+    server's keepalive events keep a quiet stream under it.
+    """
+    req = urllib.request.Request(
+        url.rstrip("/") + f"/jobs/{job_id}/events",
+        headers={"Accept": "application/x-ndjson"})
+    try:
+        resp = urllib.request.urlopen(req, timeout=timeout)
+    except urllib.error.HTTPError as exc:
+        try:
+            body = json.loads(exc.read() or b"{}")
+        except json.JSONDecodeError:
+            body = {}
+        reason = body.get("reason") or body.get("error") or str(exc)
+        raise ServeClientError(
+            f"GET /jobs/{job_id}/events -> {exc.code}: {reason}",
+            status=exc.code, body=body) from exc
+    except urllib.error.URLError as exc:
+        raise ServeClientError(
+            f"cannot reach serve daemon at {url}: {exc.reason}") from exc
+    with resp:
+        for raw in resp:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn final line on teardown
 
 
 def wait_for_job(

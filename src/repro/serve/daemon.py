@@ -31,7 +31,15 @@ import time
 from pathlib import Path
 from typing import Any, Callable, IO
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.context import (
+    child_env,
+    new_trace_id,
+    now_ns,
+    record_service_spans,
+    service_instant,
+    service_span,
+)
+from repro.obs.metrics import DEFAULT_TIME_BOUNDS, MetricsRegistry
 from repro.serve.scheduler import (
     PendingJob,
     ServePolicy,
@@ -80,7 +88,15 @@ class ServeDaemon:
         self._child_ranks: dict[str, int] = {}
         self._child_tenants: dict[str, str] = {}
         self._skip_reasons: dict[str, str] = {}
+        #: Last skip reason recorded as a trace instant per job, so a
+        #: reason that persists across ticks is traced exactly once.
+        self._noted_skips: dict[str, str] = {}
+        #: Tenants that ever had a running-ranks gauge, so a tenant
+        #: whose jobs all finished is zeroed rather than frozen.
+        self._gauged_tenants: set[str] = set()
         self._start_seq = 0
+        # replicheck: ignore[R004] -- daemon uptime for /healthz; service bookkeeping
+        self._started_mono = time.monotonic()
         self._draining = threading.Event()
         self._stopped = threading.Event()
 
@@ -100,13 +116,26 @@ class ServeDaemon:
         if not ok:
             self.metrics.counter("serve.jobs_rejected").inc()
             return 429, {"error": "rejected", "reason": reason}
+        trace_id = new_trace_id() if spec.trace else ""
+        submitted_ns = now_ns()
         try:
             sizing = presize(spec)
         except JobSpecError as exc:
             return 400, {"error": "bad_spec", "reason": str(exc)}
+        sized_ns = now_ns()
         ranks = rank_budget(spec, sizing, self.policy.patterns_per_rank,
                             self.policy.job_rank_cap)
-        job_id = self.store.submit(spec, sizing, ranks)
+        job_id = self.store.submit(spec, sizing, ranks,
+                                   trace_id=trace_id,
+                                   now_ns=submitted_ns)
+        if trace_id:
+            record_service_spans(self.store.root / job_id, [
+                service_instant("admit", trace_id, t_ns=submitted_ns,
+                                tenant=spec.tenant, queued=queued),
+                service_span("sized", trace_id, submitted_ns, sized_ns,
+                             taxa=sizing.taxa, patterns=sizing.patterns,
+                             partitions=sizing.partitions, ranks=ranks),
+            ])
         self.metrics.counter("serve.jobs_submitted").inc()
         self._log(f"[serve] job {job_id} queued: {sizing.taxa} taxa x "
                   f"{sizing.patterns} patterns -> {ranks} rank(s) "
@@ -167,9 +196,17 @@ class ServeDaemon:
     def healthz(self) -> tuple[int, dict[str, Any]]:
         with self._lock:
             running = len(self._children)
+            busy = self._busy_ranks()
+        draining = self._draining.is_set()
         return 200, {
-            "status": "draining" if self._draining.is_set() else "ok",
+            "status": "draining" if draining else "ok",
+            "draining": draining,
             "running": running,
+            "queue_depth": len(self.store.pending()),
+            "busy_ranks": busy,
+            "pool_ranks": self.policy.pool_ranks,
+            # replicheck: ignore[R004] -- daemon uptime for /healthz; service bookkeeping
+            "uptime_s": time.monotonic() - self._started_mono,
             "root": str(self.store.root),
         }
 
@@ -192,6 +229,10 @@ class ServeDaemon:
     def _launch(self, grant: PendingJob) -> None:
         manifest = self.store.load(grant.job_id)
         spec = JobSpec.from_dict(manifest["job"])
+        trace_id = str(manifest.get("trace_id") or "")
+        queue = manifest.get("queue") or {}
+        submitted_ns = queue.get("submitted_ns")
+        granted_ns = now_ns()
         run_dir = self.store.root / grant.job_id
         cmd = [
             sys.executable, "-m", "repro", "infer", spec.alignment,
@@ -207,6 +248,9 @@ class ServeDaemon:
             "--cancellable",
             "--checkpoint", str(run_dir / "checkpoint.npz"),
             "-o", str(run_dir / "tree.nwk"),
+            # always monitor: the progress streams double as the
+            # /jobs/<id>/events source even for unsupervised jobs
+            "--monitor",
         ]
         if spec.partitions:
             cmd += ["-q", spec.partitions]
@@ -215,8 +259,11 @@ class ServeDaemon:
         supervise = (spec.supervise if self.supervise_jobs is None
                      else self.supervise_jobs)
         if supervise:
-            cmd += ["--supervise", "--monitor"]
-        env = dict(os.environ)
+            cmd += ["--supervise"]
+        if trace_id:
+            cmd += ["--trace-dir", str(run_dir / "trace"),
+                    "--trace-id", trace_id]
+        env = child_env(trace_id) if trace_id else dict(os.environ)
         env["REPRO_RUNS_DIR"] = str(self.store.root)
         log_file = open(run_dir / JOB_LOG_FILENAME, "ab")
         try:
@@ -228,8 +275,37 @@ class ServeDaemon:
         except OSError:
             log_file.close()
             raise
+        launched_ns = now_ns()
         self._start_seq += 1
-        self.store.mark_running(grant.job_id, grant.ranks, self._start_seq)
+        # replicheck: ignore[R004] -- grant/launch wall stamps for SLO analytics; daemon-side bookkeeping
+        now_wall = time.time()
+        self.store.mark_running(
+            grant.job_id, grant.ranks, self._start_seq,
+            granted_s=now_wall, granted_ns=granted_ns,
+            launched_s=now_wall, launched_ns=launched_ns,
+            pid=proc.pid, pool_ranks=self.policy.pool_ranks)
+        if submitted_ns is not None:
+            wait_s = max(0.0, (granted_ns - int(submitted_ns)) / 1e9)
+            self.metrics.histogram(
+                "serve.queue_wait_s",
+                bounds=DEFAULT_TIME_BOUNDS).observe(wait_s)
+        self.metrics.histogram(
+            "serve.sched_latency_s", bounds=DEFAULT_TIME_BOUNDS).observe(
+                max(0.0, (launched_ns - granted_ns) / 1e9))
+        if trace_id:
+            records = []
+            if submitted_ns is not None:
+                records.append(service_span(
+                    "queued", trace_id, int(submitted_ns), granted_ns,
+                    tenant=grant.tenant, priority=grant.priority))
+            records.append(service_instant(
+                "granted", trace_id, t_ns=granted_ns,
+                ranks=grant.ranks, start_seq=self._start_seq))
+            records.append(service_span(
+                "launched", trace_id, granted_ns, launched_ns,
+                pid=proc.pid))
+            record_service_spans(run_dir, records)
+        self._noted_skips.pop(grant.job_id, None)
         self._children[grant.job_id] = proc
         self._child_logs[grant.job_id] = log_file
         self._child_ranks[grant.job_id] = grant.ranks
@@ -249,7 +325,25 @@ class ServeDaemon:
             log_file = self._child_logs.pop(job_id, None)
             if log_file is not None:
                 log_file.close()
+            finished_ns = now_ns()
+            manifest = self.store.load(job_id)
+            queue = manifest.get("queue") or {}
+            # replicheck: ignore[R004] -- completion wall stamp for SLO analytics; daemon-side bookkeeping
+            self.store.stamp_queue(job_id, finished_s=time.time(),
+                                   finished_ns=finished_ns)
             final = self.store.finalize_orphan(job_id)
+            launched_ns = queue.get("launched_ns")
+            if launched_ns is not None:
+                self.metrics.histogram(
+                    "serve.run_duration_s",
+                    bounds=DEFAULT_TIME_BOUNDS).observe(
+                        max(0.0, (finished_ns - int(launched_ns)) / 1e9))
+            trace_id = str(manifest.get("trace_id") or "")
+            if trace_id and launched_ns is not None:
+                record_service_spans(self.store.root / job_id, [
+                    service_span("run", trace_id, int(launched_ns),
+                                 finished_ns, status=final, exit_code=rc),
+                ])
             self.metrics.counter(f"serve.jobs_{final}").inc()
             self._log(f"[serve] job {job_id} finished: {final} "
                       f"(exit {rc})")
@@ -267,6 +361,7 @@ class ServeDaemon:
                 selection = select(self.policy, pending, free,
                                    self._running_by_tenant(), now)
                 self._skip_reasons = selection.skipped
+                self._note_skips(selection.skipped)
                 for grant in selection.grants:
                     self._launch(grant)
             elif not pending:
@@ -275,10 +370,37 @@ class ServeDaemon:
                 float(len(self.store.pending())))
             self.metrics.gauge("serve.jobs_running").set(
                 float(len(self._children)))
-            self.metrics.gauge("serve.pool_busy_ranks").set(
-                float(self._busy_ranks()))
+            busy = self._busy_ranks()
+            pool = max(1, self.policy.pool_ranks)
+            self.metrics.gauge("serve.pool_busy_ranks").set(float(busy))
             self.metrics.gauge("serve.pool_ranks").set(
                 float(self.policy.pool_ranks))
+            self.metrics.gauge("serve.pool_utilization").set(busy / pool)
+            by_tenant = self._running_by_tenant()
+            self._gauged_tenants.update(by_tenant)
+            for tenant in sorted(self._gauged_tenants):
+                self.metrics.gauge(
+                    f"serve.tenant_running_ranks.{tenant}").set(
+                        float(by_tenant.get(tenant, 0)))
+
+    def _note_skips(self, skipped: dict[str, str]) -> None:
+        """Trace a ``sched_skip`` instant when a job's skip reason
+        changes (never per tick — a stable reason is traced once)."""
+        for job_id in sorted(skipped):
+            reason = skipped[job_id]
+            if self._noted_skips.get(job_id) == reason:
+                continue
+            self._noted_skips[job_id] = reason
+            try:
+                manifest = self.store.load(job_id)
+            except (FileNotFoundError, OSError):
+                continue
+            trace_id = str(manifest.get("trace_id") or "")
+            if not trace_id:
+                continue
+            record_service_spans(self.store.root / job_id, [
+                service_instant("sched_skip", trace_id, reason=reason),
+            ])
 
     # -- lifecycle ------------------------------------------------------ #
     def drain(self) -> None:

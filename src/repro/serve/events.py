@@ -1,0 +1,146 @@
+"""Live job event streams: daemon lifecycle + rank progress, merged.
+
+``GET /jobs/<id>/events`` tails one logical stream per job: the
+daemon-side lifecycle transitions (queued → granted → launched →
+terminal) reconstructed from the manifest's ``queue`` stamps, merged
+with the per-rank progress streams (``progress-rank<N>.jsonl``) the
+job's monitor thread appends to.  Everything is read incrementally from
+disk — the daemon process never buffers events in memory, so a stream
+opened mid-run replays the job's history and then follows live, and a
+daemon restart loses nothing.
+
+Events are JSON objects with at least ``event`` and ``source``
+(``"daemon"`` for lifecycle, ``"rank<N>"`` for progress).  The stream
+ends with a ``terminal`` event once the job reaches a terminal status
+and its progress streams have been drained.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs.progress import read_progress_since
+from repro.obs.registry import TERMINAL_STATUSES, RunRegistry
+
+__all__ = ["lifecycle_events", "iter_job_events"]
+
+#: Canonical lifecycle order; a stream emits each at most once.
+_LIFECYCLE_ORDER = ("queued", "granted", "launched")
+
+
+def lifecycle_events(manifest: dict[str, Any]) -> list[dict[str, Any]]:
+    """The daemon-side lifecycle events visible in a job manifest.
+
+    Reconstructed from the ``queue`` block's stamps, in canonical
+    order; a terminal manifest additionally yields a ``terminal``
+    event.  Idempotent — callers diff against what they already sent.
+    """
+    queue = manifest.get("queue") or {}
+    out: list[dict[str, Any]] = []
+    event: dict[str, Any] = {
+        "event": "queued",
+        "source": "daemon",
+        "job_id": manifest.get("run_id"),
+        "tenant": queue.get("tenant"),
+        "priority": queue.get("priority"),
+        "ranks": queue.get("ranks"),
+    }
+    if "submitted_s" in queue:
+        event["t_s"] = queue["submitted_s"]
+    out.append(event)
+    if "granted_s" in queue or "granted_ranks" in queue:
+        event = {
+            "event": "granted",
+            "source": "daemon",
+            "ranks": queue.get("granted_ranks"),
+            "start_seq": queue.get("start_seq"),
+        }
+        if "granted_s" in queue:
+            event["t_s"] = queue["granted_s"]
+        out.append(event)
+    if "launched_s" in queue or "pid" in queue:
+        event = {
+            "event": "launched",
+            "source": "daemon",
+            "pid": queue.get("pid"),
+        }
+        if "launched_s" in queue:
+            event["t_s"] = queue["launched_s"]
+        out.append(event)
+    status = manifest.get("status")
+    if status in TERMINAL_STATUSES:
+        event = {
+            "event": "terminal",
+            "source": "daemon",
+            "status": status,
+        }
+        if "finished_s" in queue:
+            event["t_s"] = queue["finished_s"]
+        if manifest.get("result") is not None:
+            event["result"] = manifest["result"]
+        out.append(event)
+    return out
+
+
+def iter_job_events(
+    root: str | Path | None,
+    job_id: str,
+    poll_s: float = 0.2,
+    timeout_s: float | None = None,
+    keepalive_s: float = 15.0,
+) -> Iterator[dict[str, Any]]:
+    """Follow one job's merged lifecycle + progress event stream.
+
+    Replays history first (lifecycle from the manifest, progress from
+    the start of each rank stream), then polls the filesystem until the
+    job is terminal, yielding new events as they land.  ``keepalive``
+    events are injected while nothing happens so HTTP consumers can
+    tell a quiet stream from a dead one; ``timeout_s`` bounds the whole
+    follow (``None`` = until terminal).
+    """
+    registry = RunRegistry(root)
+    job_id = registry.resolve(job_id)
+    sent = 0                       # lifecycle events already yielded
+    offsets: dict[Path, int] = {}  # progress stream -> bytes consumed
+    # replicheck: ignore[R004] -- stream timeout/keepalive pacing; service-side bookkeeping
+    started = time.monotonic()
+    last_emit = started
+
+    while True:
+        emitted = False
+        try:
+            manifest = registry.load(job_id)
+        except (FileNotFoundError, OSError):
+            yield {"event": "lost", "source": "daemon",
+                   "reason": "job manifest disappeared"}
+            return
+        lifecycle = lifecycle_events(manifest)
+        terminal = (lifecycle and lifecycle[-1]["event"] == "terminal")
+        live = lifecycle[:-1] if terminal else lifecycle
+        for event in live[sent:]:
+            yield event
+            emitted = True
+        sent = len(live)
+        for path in registry.progress_paths(job_id):
+            events, offsets[path] = read_progress_since(
+                path, offsets.get(path, 0))
+            for event in events:
+                rank = event.get("rank", 0)
+                yield {**event, "source": f"rank{rank}"}
+                emitted = True
+        if terminal:
+            yield lifecycle[-1]
+            return
+        # replicheck: ignore[R004] -- stream timeout/keepalive pacing; service-side bookkeeping
+        now = time.monotonic()
+        if emitted:
+            last_emit = now
+        elif keepalive_s and now - last_emit >= keepalive_s:
+            yield {"event": "keepalive", "source": "daemon"}
+            last_emit = now
+        if timeout_s is not None and now - started >= timeout_s:
+            yield {"event": "stream_timeout", "source": "daemon"}
+            return
+        time.sleep(poll_s)

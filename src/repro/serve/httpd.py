@@ -2,12 +2,13 @@
 
 Routes (all JSON unless noted)::
 
-    POST   /jobs        submit a job spec          -> 201 {job_id, ranks}
-    GET    /jobs        list jobs + policy         -> 200
-    GET    /jobs/<id>   one job's full manifest    -> 200
-    DELETE /jobs/<id>   cancel (cooperative)       -> 200 {state}
-    GET    /metrics     Prometheus text exposition -> 200 (text/plain)
-    GET    /healthz     liveness + drain state     -> 200
+    POST   /jobs             submit a job spec          -> 201 {job_id, ranks}
+    GET    /jobs             list jobs + policy         -> 200
+    GET    /jobs/<id>        one job's full manifest    -> 200
+    GET    /jobs/<id>/events live JSONL event stream    -> 200 (x-ndjson)
+    DELETE /jobs/<id>        cancel (cooperative)       -> 200 {state}
+    GET    /metrics          Prometheus text exposition -> 200 (text/plain)
+    GET    /healthz          liveness + pool/queue view -> 200
 
 Built on ``http.server.ThreadingHTTPServer`` — no dependencies beyond
 the standard library, matching the repo's no-new-deps rule.  Handler
@@ -74,6 +75,37 @@ class _Handler(BaseHTTPRequestHandler):
             return parts[1]
         return None
 
+    def _events_job_id(self) -> str | None:
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if (len(parts) == 3 and parts[0] == "jobs"
+                and parts[2] == "events"):
+            return parts[1]
+        return None
+
+    def _stream_events(self, job_id: str) -> None:
+        """Chunkless streaming: no Content-Length, read-until-close."""
+        from repro.serve.events import iter_job_events
+
+        try:
+            resolved = self.daemon.store.registry.resolve(job_id)
+            self.daemon.store.load(resolved)
+        except FileNotFoundError as exc:
+            self._send_json(404, {"error": "not_found",
+                                  "reason": str(exc)})
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        try:
+            for event in iter_job_events(self.daemon.store.root, resolved):
+                self.wfile.write((json.dumps(event) + "\n").encode())
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to clean up
+
     def _route(self) -> str:
         return self.path.split("?")[0].rstrip("/") or "/"
 
@@ -108,6 +140,10 @@ class _Handler(BaseHTTPRequestHandler):
         if route == "/jobs":
             code, body = self.daemon.list_jobs()
             self._send_json(code, body)
+            return
+        events_id = self._events_job_id()
+        if events_id:
+            self._stream_events(events_id)
             return
         job_id = self._job_id()
         if job_id:

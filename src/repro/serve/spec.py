@@ -62,6 +62,11 @@ class JobSpec:
     #: Run the job under the PR-6 escalation-ladder supervisor with a
     #: per-job monitor thread (retry/backoff + stall diagnosis).
     supervise: bool = True
+    #: End-to-end tracing: the daemon mints a ``trace_id``, records its
+    #: scheduler-lifecycle spans under it, and the job's ranks trace
+    #: into ``<run>/trace/`` so one merged Chrome trace shows
+    #: submit → queue wait → launch → iterations → completion.
+    trace: bool = True
 
     @classmethod
     def from_dict(cls, payload: Any) -> "JobSpec":
@@ -93,6 +98,8 @@ class JobSpec:
             raise JobSpecError("iterations must be a positive integer")
         if not isinstance(spec.epsilon, (int, float)) or spec.epsilon <= 0:
             raise JobSpecError("epsilon must be positive")
+        if not isinstance(spec.trace, bool):
+            raise JobSpecError("trace must be a boolean")
         return spec
 
     def to_dict(self) -> dict[str, Any]:

@@ -70,12 +70,30 @@ class JobStore:
         sizing: JobSizing,
         ranks: int,
         now: float | None = None,
+        trace_id: str = "",
+        now_ns: int | None = None,
     ) -> str:
-        """Persist a new queued job; returns its job id (= run id)."""
+        """Persist a new queued job; returns its job id (= run id).
+
+        ``trace_id`` is the end-to-end trace context the daemon minted
+        for this submission; ``now_ns`` is the matching monotonic stamp
+        (:func:`repro.obs.context.now_ns`) so queue-wait spans share the
+        timebase of the per-rank tracers.
+        """
         if now is None:
             # replicheck: ignore[R004] -- submission timestamp for priority aging; daemon-side bookkeeping
             now = time.time()
-        job_id = self.registry.register({
+        queue: dict[str, Any] = {
+            "state": "queued",
+            "ranks": ranks,
+            "tenant": spec.tenant,
+            "priority": spec.priority,
+            "submitted_s": now,
+            "seq": self._alloc_seq(),
+        }
+        if now_ns is not None:
+            queue["submitted_ns"] = int(now_ns)
+        manifest: dict[str, Any] = {
             "command": "job",
             "engine": spec.engine,
             "ranks": ranks,
@@ -85,16 +103,11 @@ class JobStore:
             "status": "queued",
             "job": spec.to_dict(),
             "sizing": sizing.to_dict(),
-            "queue": {
-                "state": "queued",
-                "ranks": ranks,
-                "tenant": spec.tenant,
-                "priority": spec.priority,
-                "submitted_s": now,
-                "seq": self._alloc_seq(),
-            },
-        })
-        return job_id
+            "queue": queue,
+        }
+        if trace_id:
+            manifest["trace_id"] = trace_id
+        return self.registry.register(manifest)
 
     # -- reading ------------------------------------------------------- #
     def jobs(self) -> list[dict[str, Any]]:
@@ -142,17 +155,34 @@ class JobStore:
         return total, per_tenant
 
     # -- state transitions --------------------------------------------- #
-    def mark_running(self, job_id: str, ranks: int, start_seq: int) -> None:
+    def mark_running(
+        self,
+        job_id: str,
+        ranks: int,
+        start_seq: int,
+        **stamps: Any,
+    ) -> None:
         """Stamp a grant: the daemon is about to launch this job.
 
         ``start_seq`` is the daemon's global launch counter — tests (and
         operators) read it to verify the scheduler's start *order*, which
-        wall-clock stamps can't prove under concurrent launches.
+        wall-clock stamps can't prove under concurrent launches.  Extra
+        ``stamps`` (``granted_s``/``granted_ns``/``pool_ranks``...) are
+        merged into the queue block for SLO analytics.
         """
         manifest = self.load(job_id)
         q = dict(manifest.get("queue") or {})
         q.update(state="running", granted_ranks=ranks, start_seq=start_seq)
+        q.update(stamps)
         self.registry.update(job_id, status="running", ranks=ranks, queue=q)
+
+    def stamp_queue(self, job_id: str, **stamps: Any) -> None:
+        """Merge lifecycle stamps (``launched_s``, ``finished_ns``...)
+        into a job's queue block without touching its status."""
+        manifest = self.load(job_id)
+        q = dict(manifest.get("queue") or {})
+        q.update(stamps)
+        self.registry.update(job_id, queue=q)
 
     def request_cancel(self, job_id: str) -> str:
         """Ask for a job's cancellation; returns the resulting state.
@@ -215,8 +245,9 @@ class JobStore:
                 self.registry.update(job_id, status="cancelled", queue=q)
                 continue
             q["state"] = "queued"
-            q.pop("granted_ranks", None)
-            q.pop("start_seq", None)
+            for stale in ("granted_ranks", "start_seq", "granted_s",
+                          "granted_ns", "launched_s", "launched_ns", "pid"):
+                q.pop(stale, None)
             q["requeued"] = int(q.get("requeued", 0)) + 1
             self.registry.update(job_id, status="queued", queue=q)
             requeued.append(job_id)

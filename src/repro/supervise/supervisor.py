@@ -135,6 +135,8 @@ class Supervisor:
         detect_timeout: float | None = None,
         monitor: bool = True,
         cancellable: bool = False,
+        trace_dir: str | Path | None = None,
+        trace_id: str = "",
         sleep: Callable[[float], None] = time.sleep,
         log: Callable[[str], None] | None = None,
     ) -> None:
@@ -149,6 +151,11 @@ class Supervisor:
         self.detect_timeout = detect_timeout
         self.monitor = monitor
         self.cancellable = cancellable
+        #: With ``trace_dir``, every attempt traces its ranks into
+        #: ``trace_dir/attempt<K>/`` (restarts must not overwrite the
+        #: spans of the mesh that died), all stamped with ``trace_id``.
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self.trace_id = trace_id
         self._sleep = sleep
         self._log = log or (lambda msg: None)
 
@@ -200,14 +207,22 @@ class Supervisor:
                 monitor_dir = work_dir / f"attempt{attempt}" / "monitor"
                 monitor_dir.mkdir(parents=True, exist_ok=True)
                 monitor_thread = MonitorThread(monitor_dir).start()
+                if self.registry is not None and self.run_id is not None:
+                    # keep the manifest pointing at the *live* attempt so
+                    # `repro watch <run-id>` follows across relaunches
+                    self.registry.update(self.run_id,
+                                         monitor_dir=str(monitor_dir))
             else:
                 monitor_dir = None
+            trace_dir = None
+            if self.trace_dir is not None:
+                trace_dir = self.trace_dir / f"attempt{attempt}"
             result = None
             stall = None
             try:
                 result = self._launch(
                     parts, taxa, start_newick, ranks, dist, config,
-                    n_branch_sets, plan, resume, monitor_dir)
+                    n_branch_sets, plan, resume, monitor_dir, trace_dir)
                 verdict, detail = "ok", ""
                 if result.cancelled:
                     # A cooperative stop is terminal: the ladder must
@@ -282,7 +297,7 @@ class Supervisor:
     # -- helpers ------------------------------------------------------- #
     def _launch(
         self, parts, taxa, newick, ranks, dist, config, n_branch_sets,
-        plan, resume, monitor_dir,
+        plan, resume, monitor_dir, trace_dir=None,
     ) -> DistributedResult:
         kwargs: dict[str, Any] = dict(
             config=config, dist_kind=dist, n_branch_sets=n_branch_sets,
@@ -290,6 +305,7 @@ class Supervisor:
             monitor_dir=monitor_dir, resume_from=resume,
             timeout=self.policy.attempt_timeout_s,
             cancellable=self.cancellable,
+            trace_dir=trace_dir, trace_id=self.trace_id,
         )
         if self.engine == "decentralized":
             replicas = run_decentralized(

@@ -23,7 +23,11 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.instrument import TracingComm
-from repro.obs.metrics import MetricsRegistry, merge_snapshots
+from repro.obs.metrics import (
+    MetricsRegistry,
+    histogram_quantile,
+    merge_snapshots,
+)
 from repro.obs.reconcile import (
     DECENTRALIZED_REL_TOL,
     CategoryDelta,
@@ -261,6 +265,58 @@ class TestPromExport:
         # the bucket lines precede the _count/_sum summary samples
         assert text.index("_bucket") < text.index("repro_lat_count")
 
+    def test_merged_union_buckets_render_cumulative_sorted(self):
+        # a merge_snapshots result may carry a bucket-edge *union*
+        # (ranks bucketing the same metric differently); the prom
+        # rendering must re-sort the edges numerically and stay
+        # cumulative, closed by le="+Inf" == total count
+        a, b = MetricsRegistry(), MetricsRegistry()
+        ha = a.histogram("lat", bounds=(10.0, 100.0))
+        hb = b.histogram("lat", bounds=(0.5, 50.0))
+        for v in (5.0, 60.0, 200.0):
+            ha.observe(v)
+        for v in (0.25, 40.0):
+            hb.observe(v)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        # the union dict is insertion-ordered (10, 100, 0.5, 50) — the
+        # exposition must not render it in that order
+        text = snapshot_to_prom(merged)
+        lines = [ln for ln in text.splitlines()
+                 if ln.startswith("repro_lat_bucket")]
+        edges = [ln.split('le="')[1].split('"')[0] for ln in lines]
+        assert edges == ["0.5", "10.0", "50.0", "100.0", "+Inf"]
+        counts = [float(ln.rsplit(" ", 1)[1]) for ln in lines]
+        # cumulative across the union: 0.25 | 5 | 40 | 60 | 200-overflow
+        assert counts == [1, 2, 3, 4, 5]
+        assert counts == sorted(counts)
+
+    def test_histogram_quantile_interpolates_and_clamps(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        hist = reg.snapshot()["histograms"]["lat"]
+        # p50: target 2 of 4 -> second obs of the (1, 2] bucket
+        assert histogram_quantile(hist, 0.5) == pytest.approx(1.5)
+        assert histogram_quantile(hist, 0.75) == pytest.approx(2.0)
+        # p100 sits inside the (2, 4] bucket
+        assert histogram_quantile(hist, 1.0) == pytest.approx(4.0)
+        # overflow observations clamp to the last finite edge
+        h.observe(100.0)
+        hist = reg.snapshot()["histograms"]["lat"]
+        assert histogram_quantile(hist, 1.0) == pytest.approx(4.0)
+        # empty/bucketless -> 0.0; out-of-range q raises
+        assert histogram_quantile({"count": 0}, 0.5) == 0.0
+        assert histogram_quantile({"count": 3}, 0.5) == 0.0
+        with pytest.raises(ValueError):
+            histogram_quantile(hist, 1.5)
+        # a merged union-bucket histogram quantiles the same way
+        other = MetricsRegistry()
+        other.histogram("lat", bounds=(8.0,)).observe(6.0)
+        merged = merge_snapshots([reg.snapshot(), other.snapshot()])
+        q = histogram_quantile(merged["histograms"]["lat"], 0.99)
+        assert 4.0 < q <= 8.0
+
     def test_labels_attach_to_every_sample(self):
         reg = MetricsRegistry()
         reg.counter("calls").inc()
@@ -429,13 +485,19 @@ class TestExport:
     def test_chrome_pid_is_rank_tid_named_after_kind(self, tmp_path):
         doc = chrome_trace(merge_rank_streams(_two_rank_streams(tmp_path)))
         events = doc["traceEvents"]
-        meta = [e for e in events if e["ph"] == "M"]
+        threads = [e for e in events
+                   if e["ph"] == "M" and e["name"] == "thread_name"]
         # one thread_name per (rank, kind) actually present
-        named = {(e["pid"], e["args"]["name"]) for e in meta}
+        named = {(e["pid"], e["args"]["name"]) for e in threads}
         assert named == {(0, "comm"), (0, "kernel"), (0, "recovery"),
                          (1, "comm"), (1, "kernel"), (1, "recovery")}
+        # ... and one process_name per rank
+        procs = {e["pid"]: e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert procs == {0: "rank 0", 1: "rank 1"}
         # every real event's (pid, tid) maps back to its kind
-        tid_kind = {(e["pid"], e["tid"]): e["args"]["name"] for e in meta}
+        tid_kind = {(e["pid"], e["tid"]): e["args"]["name"]
+                    for e in threads}
         for e in events:
             if e["ph"] == "M":
                 continue

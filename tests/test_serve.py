@@ -216,6 +216,12 @@ class TestHttpApi:
 
             health = request(url, "/healthz")
             assert health["status"] == "ok"
+            assert health["draining"] is False
+            assert health["queue_depth"] == 1  # the job we just queued
+            assert health["running"] == 0
+            assert health["busy_ranks"] == 0
+            assert health["pool_ranks"] == 4
+            assert health["uptime_s"] >= 0.0
 
             text_reply = cancel_job(url, job_id)
             assert text_reply["state"] == "cancelled"

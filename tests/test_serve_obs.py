@@ -1,0 +1,421 @@
+"""End-to-end job lifecycle tracing, service telemetry, and live event
+streams: trace-context propagation, daemon service spans, the merged
+Chrome trace, ``/jobs/<id>/events``, and the offline ``repro slo``
+report.
+
+Layered like ``test_serve.py``: pure unit tests over the new obs/serve
+pieces first, then one live acceptance run — an HTTP submission whose
+merged trace must show the daemon's queued/sized/granted/launched spans
+and the ranks' search spans under a single ``trace_id``, with the
+queue-wait agreeing across the manifest stamps, the ``/metrics``
+histogram, the merged trace, and the offline SLO report.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.model.substitution import JC69
+from repro.obs.context import (
+    DAEMON_RANK,
+    TRACE_ENV,
+    child_env,
+    current_trace_id,
+    new_trace_id,
+    record_service_spans,
+    service_instant,
+    service_span,
+)
+from repro.obs.export import chrome_trace, merge_job_trace, write_jsonl
+from repro.obs.slo import (
+    collect_job_stats,
+    compute_slo,
+    percentile,
+)
+from repro.seq.io_fasta import write_fasta
+from repro.seq.simulate import simulate_alignment
+from repro.serve import JobSizing, JobSpec, JobStore
+from repro.serve.client import (
+    ServeClientError,
+    request,
+    stream_events,
+    submit_job,
+    wait_for_job,
+)
+from repro.serve.events import iter_job_events, lifecycle_events
+from repro.tree.random_trees import yule_tree
+
+
+@pytest.fixture(scope="module")
+def fasta_path(tmp_path_factory) -> Path:
+    taxa = [f"t{i}" for i in range(8)]
+    tree = yule_tree(taxa, rng=5, mean_branch_length=0.15)
+    aln = simulate_alignment(tree, JC69(), 240, rng=6)
+    path = tmp_path_factory.mktemp("serve_obs_data") / "aln.fasta"
+    write_fasta(aln, path)
+    return path
+
+
+def free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+# --------------------------------------------------------------------- #
+# trace context
+# --------------------------------------------------------------------- #
+class TestTraceContext:
+    def test_new_ids_are_unique_hex(self):
+        a, b = new_trace_id(), new_trace_id()
+        assert a != b
+        assert len(a) == 16 and int(a, 16) >= 0
+
+    def test_env_round_trip(self):
+        tid = new_trace_id()
+        env = child_env(tid, base={"PATH": "/bin"})
+        assert env[TRACE_ENV] == tid and env["PATH"] == "/bin"
+        assert current_trace_id(env) == tid
+        assert current_trace_id({}) == ""
+        # no id -> env untouched
+        assert TRACE_ENV not in child_env("", base={})
+
+    def test_service_span_schema(self):
+        span = service_span("queued", "abc", 10, 30, tenant="t1")
+        assert span == {"name": "queued", "kind": "service",
+                        "rank": DAEMON_RANK, "t0_ns": 10, "t1_ns": 30,
+                        "trace_id": "abc", "attrs": {"tenant": "t1"}}
+        inst = service_instant("granted", "abc", t_ns=50, ranks=2)
+        assert inst["t0_ns"] == inst["t1_ns"] == 50
+
+    def test_merged_job_trace_interleaves_daemon_and_ranks(self, tmp_path):
+        tid = new_trace_id()
+        record_service_spans(tmp_path, [
+            service_span("queued", tid, 100, 300),
+            service_span("launched", tid, 300, 400, pid=7),
+        ])
+        write_jsonl([
+            {"name": "initial_smooth", "kind": "search", "rank": 0,
+             "t0_ns": 450, "t1_ns": 600, "trace_id": tid},
+        ], tmp_path / "trace" / "trace-rank0.jsonl")
+        merged = merge_job_trace(tmp_path)
+        assert [r["name"] for r in merged] == ["queued", "launched",
+                                               "initial_smooth"]
+        assert {r["trace_id"] for r in merged} == {tid}
+
+        doc = chrome_trace(merged)
+        procs = {e["pid"]: e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert procs == {DAEMON_RANK: "daemon", 0: "rank 0"}
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert all(e["args"]["trace_id"] == tid for e in spans)
+
+
+# --------------------------------------------------------------------- #
+# lifecycle + event streams (synthetic manifests, no daemon)
+# --------------------------------------------------------------------- #
+def _sizing() -> JobSizing:
+    return JobSizing(taxa=8, sites=240, patterns=120, partitions=1,
+                     pattern_loads=(120,))
+
+
+class TestEventStreams:
+    def test_lifecycle_events_follow_queue_stamps(self, tmp_path):
+        store = JobStore(tmp_path / "runs")
+        spec = JobSpec(alignment="a.fasta", tenant="acme")
+        job_id = store.submit(spec, _sizing(), ranks=2, now=100.0,
+                              trace_id="tid1", now_ns=1_000)
+        events = lifecycle_events(store.load(job_id))
+        assert [e["event"] for e in events] == ["queued"]
+        assert events[0]["tenant"] == "acme" and events[0]["t_s"] == 100.0
+
+        store.mark_running(job_id, ranks=2, start_seq=1,
+                           granted_s=101.0, granted_ns=2_000,
+                           launched_s=101.5, launched_ns=3_000, pid=77)
+        events = lifecycle_events(store.load(job_id))
+        assert [e["event"] for e in events] == ["queued", "granted",
+                                                "launched"]
+        assert events[1]["start_seq"] == 1 and events[2]["pid"] == 77
+
+        store.stamp_queue(job_id, finished_s=105.0, finished_ns=9_000)
+        store.registry.update(job_id, status="completed",
+                              result={"logl": -1.5})
+        events = lifecycle_events(store.load(job_id))
+        assert events[-1]["event"] == "terminal"
+        assert events[-1]["status"] == "completed"
+        assert events[-1]["result"] == {"logl": -1.5}
+
+    def test_iter_job_events_replays_and_terminates(self, tmp_path):
+        root = tmp_path / "runs"
+        store = JobStore(root)
+        job_id = store.submit(JobSpec(alignment="a.fasta"), _sizing(),
+                              ranks=1, now=10.0, now_ns=100)
+        store.mark_running(job_id, ranks=1, start_seq=1,
+                           granted_s=11.0, granted_ns=200,
+                           launched_s=11.1, launched_ns=300, pid=5)
+        progress = root / job_id / "monitor" / "progress-rank0.jsonl"
+        progress.parent.mkdir(parents=True)
+        with progress.open("w") as fh:
+            for event in ({"event": "run_start", "rank": 0, "t_ns": 1},
+                          {"event": "iteration", "rank": 0, "t_ns": 2,
+                           "iteration": 1, "logl": -3.5},
+                          {"event": "run_end", "rank": 0, "t_ns": 3}):
+                fh.write(json.dumps(event) + "\n")
+        store.stamp_queue(job_id, finished_s=12.0, finished_ns=900)
+        store.registry.update(job_id, status="completed")
+
+        events = list(iter_job_events(root, job_id, poll_s=0.01,
+                                      timeout_s=10.0))
+        kinds = [(e["source"], e["event"]) for e in events]
+        assert kinds == [
+            ("daemon", "queued"), ("daemon", "granted"),
+            ("daemon", "launched"), ("rank0", "run_start"),
+            ("rank0", "iteration"), ("rank0", "run_end"),
+            ("daemon", "terminal"),
+        ]
+
+    def test_iter_job_events_times_out_on_stuck_job(self, tmp_path):
+        root = tmp_path / "runs"
+        store = JobStore(root)
+        job_id = store.submit(JobSpec(alignment="a.fasta"), _sizing(),
+                              ranks=1)
+        events = list(iter_job_events(root, job_id, poll_s=0.01,
+                                      timeout_s=0.05))
+        assert events[0]["event"] == "queued"
+        assert events[-1]["event"] == "stream_timeout"
+
+    def test_unknown_job_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(iter_job_events(tmp_path / "runs", "nope"))
+
+
+# --------------------------------------------------------------------- #
+# offline SLO analytics
+# --------------------------------------------------------------------- #
+class TestSlo:
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 50.0) == 2.0
+        assert percentile(values, 75.0) == 3.0
+        assert percentile(values, 100.0) == 4.0
+        assert percentile([], 50.0) == 0.0
+        with pytest.raises(ValueError):
+            percentile(values, 101.0)
+
+    def _make_job(self, store, *, tenant, submitted_ns, granted_ns,
+                  launched_ns, finished_ns, ranks=1, status="completed",
+                  pool_ranks=4):
+        job_id = store.submit(
+            JobSpec(alignment="a.fasta", tenant=tenant), _sizing(),
+            ranks=ranks, now=submitted_ns / 1e9, now_ns=submitted_ns)
+        if granted_ns is not None:
+            store.mark_running(
+                job_id, ranks=ranks, start_seq=1,
+                granted_s=granted_ns / 1e9, granted_ns=granted_ns,
+                launched_s=launched_ns / 1e9, launched_ns=launched_ns,
+                pid=1, pool_ranks=pool_ranks)
+            store.stamp_queue(job_id, finished_s=finished_ns / 1e9,
+                              finished_ns=finished_ns)
+        store.registry.update(job_id, status=status)
+        return job_id
+
+    def test_report_from_manifests_alone(self, tmp_path):
+        store = JobStore(tmp_path / "runs")
+        s = 1_000_000_000  # 1s in ns
+        self._make_job(store, tenant="t1", submitted_ns=0,
+                       granted_ns=1 * s, launched_ns=1 * s,
+                       finished_ns=3 * s, ranks=2)
+        self._make_job(store, tenant="t2", submitted_ns=0,
+                       granted_ns=3 * s, launched_ns=3 * s,
+                       finished_ns=4 * s)
+        self._make_job(store, tenant="t2", submitted_ns=2 * s,
+                       granted_ns=None, launched_ns=None,
+                       finished_ns=None, status="cancelled")
+
+        stats = collect_job_stats(store.root)
+        assert len(stats) == 3
+        report = compute_slo(stats)
+        assert report.jobs_total == 3
+        assert report.by_status == {"completed": 2, "cancelled": 1}
+        assert report.abandoned == 1
+        assert report.queue_wait["p50"] == pytest.approx(1.0)
+        assert report.queue_wait["max"] == pytest.approx(3.0)
+        assert report.turnaround["max"] == pytest.approx(4.0)
+        # 2 ranks * 2s + 1 rank * 1s over a 4-rank pool * 4s window
+        assert report.utilization == pytest.approx(5.0 / 16.0)
+        assert report.tenants["t1"]["rank_s_share"] == (
+            pytest.approx(4.0 / 5.0))
+
+        bench = report.to_bench()
+        assert bench["kind"] == "serve_slo"
+        assert bench["metrics"]["slo.queue_wait_p50_s"] == (
+            pytest.approx(1.0))
+        assert bench["metrics"]["slo.abandonment_rate"] == (
+            pytest.approx(1.0 / 3.0))
+        md = report.format_markdown()
+        assert "queue wait" in md and "t2" in md
+        json.dumps(report.to_dict())  # JSON-safe
+
+    def test_empty_root(self, tmp_path):
+        report = compute_slo(collect_job_stats(tmp_path / "runs"))
+        assert report.jobs_total == 0
+        assert report.utilization is None
+        assert report.to_bench()["metrics"] == {}
+        report.format_markdown()  # renders without jobs
+
+
+# --------------------------------------------------------------------- #
+# live acceptance: one HTTP submission, one merged story
+# --------------------------------------------------------------------- #
+@contextlib.contextmanager
+def live_daemon(root: Path, *extra_args: str):
+    port = free_port()
+    log_path = root.parent / f"{root.name}-daemon.log"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", str(port), "--root", str(root), "--tick", "0.05",
+         *extra_args],
+        stderr=open(log_path, "wb"),
+    )
+    url = f"http://127.0.0.1:{port}"
+    try:
+        deadline = time.monotonic() + 20
+        while True:
+            try:
+                request(url, "/healthz", timeout=2)
+                break
+            except ServeClientError:
+                if time.monotonic() > deadline or proc.poll() is not None:
+                    raise AssertionError(
+                        f"daemon never came up; log:\n"
+                        f"{log_path.read_text()}")
+                time.sleep(0.1)
+        yield proc, url
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
+def _prom_value(text: str, name: str) -> float:
+    for line in text.splitlines():
+        if line.startswith(name + " "):
+            return float(line.split()[-1])
+    raise AssertionError(f"{name} not in /metrics:\n{text}")
+
+
+class TestLiveTracing:
+    def test_submit_trace_events_metrics_slo_agree(
+            self, fasta_path, tmp_path):
+        """The acceptance story: one HTTP job; its merged Chrome trace
+        holds daemon + rank spans under one trace_id; the queue wait
+        agrees across manifest stamps, /metrics, the queued span, and
+        the offline SLO report; /jobs/<id>/events replays run_start →
+        iteration → run_end."""
+        root = tmp_path / "queue"
+        with live_daemon(root, "--pool-ranks", "2") as (proc, url):
+            reply = submit_job(url, {
+                "alignment": str(fasta_path), "ranks": 2,
+                "iterations": 2, "seed": 3, "supervise": False,
+            })
+            job_id = reply["job_id"]
+            manifest = wait_for_job(url, job_id, timeout=300)
+            assert manifest["status"] == "completed"
+            # the job process stamps its own terminal status; the
+            # daemon's reap (run-duration observation, "run" span,
+            # finished stamps) lands a tick later — wait for it
+            deadline = time.monotonic() + 60
+            while "finished_ns" not in (manifest.get("queue") or {}):
+                assert time.monotonic() < deadline, "job never reaped"
+                time.sleep(0.05)
+                manifest = request(url, f"/jobs/{job_id}")
+            trace_id = manifest["trace_id"]
+            queue = manifest["queue"]
+            wait_s = (queue["granted_ns"] - queue["submitted_ns"]) / 1e9
+            assert wait_s >= 0.0
+
+            # the /metrics histogram saw exactly this wait
+            with urllib.request.urlopen(url + "/metrics",
+                                        timeout=10) as resp:
+                prom = resp.read().decode()
+            assert _prom_value(
+                prom, "repro_serve_queue_wait_s_count") == 1.0
+            assert _prom_value(
+                prom, "repro_serve_queue_wait_s_sum") == (
+                    pytest.approx(wait_s, rel=1e-6, abs=1e-9))
+            assert 'repro_serve_queue_wait_s_bucket{le="+Inf"} 1' in prom
+            assert _prom_value(prom, "repro_serve_run_duration_s_count") \
+                == 1.0
+
+            # live event stream replays the whole job story
+            events = list(stream_events(url, job_id))
+            kinds = [e["event"] for e in events]
+            for required in ("queued", "granted", "launched"):
+                assert required in kinds
+            rank0 = [e["event"] for e in events
+                     if e["source"] == "rank0"]
+            start = rank0.index("run_start")
+            iteration = rank0.index("iteration")
+            end = rank0.index("run_end")
+            assert start < iteration < end
+            assert kinds[-1] == "terminal"
+            assert events[-1]["status"] == "completed"
+
+        # daemon drained: merge its spans with the ranks' into one trace
+        records = merge_job_trace(root / job_id)
+        assert {r["trace_id"] for r in records} == {trace_id}
+        daemon_spans = {r["name"] for r in records
+                        if r["kind"] == "service"}
+        assert {"admit", "sized", "queued", "granted",
+                "launched", "run"} <= daemon_spans
+        search_spans = {r["name"] for r in records
+                        if r["kind"] == "search"}
+        assert "initial_smooth" in search_spans
+        assert {r["rank"] for r in records} >= {DAEMON_RANK, 0, 1}
+
+        # the queued span is the manifest's queue wait, exactly
+        queued_span = next(r for r in records if r["name"] == "queued")
+        span_wait = (queued_span["t1_ns"] - queued_span["t0_ns"]) / 1e9
+        assert span_wait == pytest.approx(wait_s, rel=1e-9)
+
+        # ... and the trace exports cleanly with both process tracks
+        doc = chrome_trace(records)
+        json.dumps(doc)
+        procs = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert {"daemon", "rank 0", "rank 1"} <= procs
+
+        # offline SLO report reproduces the same queue wait percentile
+        report = compute_slo(collect_job_stats(root))
+        assert report.jobs_total == 1
+        assert report.queue_wait["p50"] == pytest.approx(wait_s,
+                                                         rel=1e-9)
+
+        # ... as does the CLI, manifests alone, daemon long gone
+        bench_path = tmp_path / "BENCH_serve.json"
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "slo", "--root", str(root),
+             "--json", "--bench-out", str(bench_path)],
+            check=True, capture_output=True, timeout=60)
+        cli_report = json.loads(out.stdout)
+        assert cli_report["queue_wait_s"]["p50"] == (
+            pytest.approx(wait_s, rel=1e-9))
+        bench = json.loads(bench_path.read_text())
+        assert bench["kind"] == "serve_slo"
+        assert bench["metrics"]["slo.queue_wait_p50_s"] == (
+            pytest.approx(wait_s, rel=1e-9))
