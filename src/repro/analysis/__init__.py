@@ -11,6 +11,7 @@ with examples and the suppression/baseline workflow.
 """
 
 from repro.analysis.engine import (
+    PROFILES,
     RULES,
     AnalysisReport,
     analyze_paths,
@@ -24,9 +25,11 @@ from repro.analysis.findings import (
     Suppression,
     parse_suppressions,
 )
+from repro.analysis.sarif import to_sarif
 
 __all__ = [
     "RULES",
+    "PROFILES",
     "AnalysisReport",
     "analyze_paths",
     "analyze_source",
@@ -34,6 +37,7 @@ __all__ = [
     "Finding",
     "Suppression",
     "parse_suppressions",
+    "to_sarif",
     "SEVERITY_ERROR",
     "SEVERITY_WARNING",
 ]

@@ -1,0 +1,535 @@
+"""Concurrency rule pack (R007–R011) for the threaded service layer.
+
+The serve/supervise/obs layers run a daemon scheduler loop, HTTP
+handler threads, a monitor thread, flock sidecar files and SIGTERM
+handlers — hazard classes the replica rules never looked at.  All five
+rules consume the project model built by
+:mod:`repro.analysis.callgraph`, so "blocking" and "acquires lock X"
+propagate through resolved call chains:
+
+* **R007** — a mutable attribute of a lock-owning class is written
+  under the lock in one method and without it in another.  Ownership is
+  inferred RacerD-style: writing ``self.x`` inside ``with self._lock``
+  declares the lock owns ``x``; every other write must hold it too
+  (methods only ever *called* with the lock held are fine).
+* **R008** — two functions acquire the same pair of locks in opposite
+  orders (including through calls): the classic ABBA in-process
+  deadlock.  The flock sidecar discipline counts as one global lock.
+* **R009** — a blocking operation (``Popen.wait``, ``recv`` with no
+  timeout, ``time.sleep``, blocking ``fcntl.flock`` …) runs while a
+  lock is held, directly or via a call chain.  Every other thread
+  contending for that lock now waits on child processes / peers.
+* **R010** — a durable artifact (manifest, baseline, checkpoint,
+  diagnosis) is written without the tmp+fsync+rename discipline
+  ``search/checkpoint.py`` established; a crash mid-write leaves a
+  torn file that poisons recovery.
+* **R011** — a signal handler (or something it calls) does
+  non-async-signal-safe work: logging/printing, file writes, lock
+  acquisition, blocking calls.  Handlers interrupt arbitrary frames —
+  re-entering a held lock self-deadlocks.  Safe handlers set a flag or
+  ``Event`` and let the main loop act.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import (
+    FunctionInfo,
+    Project,
+    _iter_calls,
+    _render_chain,
+    _Resolver,
+    _module_of,
+    _NO_QUALS,
+)
+from repro.analysis.findings import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Finding,
+)
+from repro.analysis.rules import ImportMap, RuleContext
+
+__all__ = ["run_concurrency_rules"]
+
+#: Attribute writes in these methods are object construction, not races.
+_CTOR_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
+
+#: Durable-artifact name tokens for R010; matched against the write
+#: target expression and the enclosing function's qualified name.
+_DURABLE_TOKENS = ("manifest", "baseline", "checkpoint", "diagnosis")
+
+
+def run_concurrency_rules(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    findings.extend(_rule_r007(project))
+    findings.extend(_rule_r008(project))
+    findings.extend(_rule_r009(project))
+    findings.extend(_rule_r010(project))
+    findings.extend(_rule_r011(project))
+    return findings
+
+
+def _ctx_for(project: Project, path: str) -> RuleContext:
+    return RuleContext(tree=None, path=path,
+                       source_lines=project.lines.get(path, []))
+
+
+# --------------------------------------------------------------------- #
+# R007 — unprotected write to a lock-owned attribute
+# --------------------------------------------------------------------- #
+
+def _held_methods(project: Project, cls_methods: dict[str, FunctionInfo],
+                  class_tokens: set[str]) -> tuple[set[str], set[str]]:
+    """(held, sometimes-held) method names for one lock-owning class.
+
+    *held* is a greatest fixpoint: start by assuming every method with
+    at least one resolved call site is held, then demote any method
+    with a call site that neither holds the lock nor sits in a
+    (still-)held caller.  *sometimes-held* methods have at least one
+    lock-holding call site — their writes still declare the attribute
+    lock-owned (RacerD-style), even though the method itself is not
+    safe to call unlocked.
+    """
+    quals = {m.qual: name for name, m in cls_methods.items()}
+    sites: dict[str, list[tuple[str, tuple[str, ...]]]] = {
+        q: [] for q in quals}
+    for info in project.functions.values():
+        for item in _iter_calls(info.items):
+            if item[1] in sites:
+                sites[item[1]].append((info.qual, item[4]))
+
+    held = {q for q in quals if sites[q]}
+    changed = True
+    while changed:
+        changed = False
+        for q in sorted(held):
+            for caller, locks in sites[q]:
+                if class_tokens.intersection(locks):
+                    continue
+                if caller in held and caller != q:
+                    continue
+                held.discard(q)
+                changed = True
+                break
+    sometimes = {q for q in quals
+                 if any(class_tokens.intersection(locks)
+                        for _caller, locks in sites[q])}
+    return ({quals[q] for q in held},
+            {quals[q] for q in sometimes | held})
+
+
+def _rule_r007(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for cls_qual in sorted(project.classes):
+        cls = project.classes[cls_qual]
+        if not cls.lock_attrs:
+            continue
+        class_tokens = {f"{cls.qual}.{a}" for a in cls.lock_attrs}
+        held, sometimes_held = _held_methods(project, cls.methods,
+                                             class_tokens)
+        protected: dict[str, str] = {}   # attr -> method that locks it
+        for name, method in cls.methods.items():
+            if name in _CTOR_METHODS:
+                continue
+            for attr, _node, under, _mname in method.writes:
+                if under or name in sometimes_held:
+                    protected.setdefault(attr, name)
+        if not protected:
+            continue
+        for name, method in sorted(cls.methods.items()):
+            if name in _CTOR_METHODS or name in held:
+                continue
+            ctx = _ctx_for(project, method.path)
+            for attr, node, under, _mname in method.writes:
+                if under or attr not in protected:
+                    continue
+                lock = sorted(cls.lock_attrs)[0]
+                ctx.add(
+                    "R007", SEVERITY_WARNING, node,
+                    f"attribute self.{attr} of {cls.name} is written "
+                    f"under self.{lock} in {protected[attr]}() but "
+                    f"written here without holding it — a concurrent "
+                    "locked reader/writer races this assignment",
+                    f"wrap the write in `with self.{lock}:` (or document "
+                    "single-thread ownership with a suppression)",
+                )
+            findings.extend(ctx.findings)
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# R008 — inconsistent lock-acquisition order
+# --------------------------------------------------------------------- #
+
+def _lock_pairs(project: Project,
+                info: FunctionInfo) -> dict[tuple[str, str],
+                                            tuple[ast.AST, str]]:
+    """(outer, inner) -> (site, via-chain) pairs this function creates,
+    directly or by calling something that acquires more locks."""
+    pairs: dict[tuple[str, str], tuple[ast.AST, str]] = {}
+    for outer, inner, node in info.lock_pairs:
+        pairs.setdefault((outer, inner), (node, ""))
+    for item in _iter_calls(info.items):
+        qual, node, locks = item[1], item[2], item[4]
+        callee = project.functions.get(qual) if qual else None
+        if callee is None or not locks:
+            continue
+        for token, path in callee.may_acquire.items():
+            for outer in locks:
+                if outer != token:
+                    chain = _render_chain((callee.qual,) + path)
+                    pairs.setdefault((outer, token), (node, chain))
+    return pairs
+
+
+def _rule_r008(project: Project) -> list[Finding]:
+    per_func: dict[str, dict] = {}
+    order_sites: dict[tuple[str, str], list[str]] = {}
+    for qual in sorted(project.functions):
+        info = project.functions[qual]
+        pairs = _lock_pairs(project, info)
+        if pairs:
+            per_func[qual] = pairs
+            for pair in pairs:
+                order_sites.setdefault(pair, []).append(qual)
+
+    findings: list[Finding] = []
+    for qual, pairs in per_func.items():
+        info = project.functions[qual]
+        ctx = _ctx_for(project, info.path)
+        for (outer, inner), (node, chain) in sorted(
+                pairs.items(), key=lambda kv: str(kv[0])):
+            opposite = order_sites.get((inner, outer), [])
+            others = [q for q in opposite if q != qual]
+            if not others:
+                continue
+            other = _render_chain((others[0],))
+            via = f" (via {chain})" if chain else ""
+            ctx.add(
+                "R008", SEVERITY_ERROR, node,
+                f"lock order {outer} -> {inner}{via} is inverted by "
+                f"{other}(), which acquires {inner} -> {outer}: two "
+                "threads interleaving these paths deadlock",
+                "pick one global acquisition order and release the "
+                "first lock before taking the second elsewhere",
+            )
+        findings.extend(ctx.findings)
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# R009 — blocking while holding a lock
+# --------------------------------------------------------------------- #
+
+def _rule_r009(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for qual in sorted(project.functions):
+        info = project.functions[qual]
+        ctx = _ctx_for(project, info.path)
+        seen: set[tuple[int, str]] = set()
+        for desc, node, locks in info.blocking:
+            if not locks or (id(node), desc) in seen:
+                continue
+            seen.add((id(node), desc))
+            ctx.add(
+                "R009", SEVERITY_WARNING, node,
+                f"blocking operation {desc} while holding {locks[-1]}: "
+                "every thread contending for that lock now waits on "
+                "this call too",
+                "move the blocking call outside the locked region, or "
+                "bound it with a timeout",
+            )
+        for item in _iter_calls(info.items):
+            call_qual, node, locks = item[1], item[2], item[4]
+            callee = project.functions.get(call_qual) if call_qual else None
+            if callee is None or not locks or not callee.may_block:
+                continue
+            desc = sorted(callee.may_block)[0]
+            if (id(node), desc) in seen:
+                continue
+            seen.add((id(node), desc))
+            chain = _render_chain(
+                (callee.qual,) + callee.may_block[desc])
+            ctx.add(
+                "R009", SEVERITY_WARNING, node,
+                f"call chain blocks on {desc} (via {chain}) while "
+                f"holding {locks[-1]}: every thread contending for "
+                "that lock now waits on this call too",
+                "finish the blocking work outside the locked region, "
+                "or bound it with a timeout",
+            )
+        findings.extend(ctx.findings)
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# R010 — non-atomic durable write
+# --------------------------------------------------------------------- #
+
+def _uses_atomic_replace(node: ast.AST, imports: ImportMap) -> bool:
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        f = sub.func
+        if isinstance(f, ast.Attribute) and isinstance(f.value, ast.Name):
+            mod = imports.module_of(f.value.id) or f.value.id
+            if mod == "os" and f.attr in ("replace", "rename"):
+                return True
+        elif isinstance(f, ast.Name):
+            member = imports.member_of(f.id)
+            if member is not None and member[0] == "os" \
+                    and member[1] in ("replace", "rename"):
+                return True
+    return False
+
+
+def _write_target(call: ast.Call, imports: ImportMap) -> str | None:
+    """The unparsed destination expression of a durable-write call."""
+    f = call.func
+    if isinstance(f, ast.Attribute) and f.attr in ("write_text",
+                                                   "write_bytes"):
+        return ast.unparse(f.value)
+    if isinstance(f, ast.Attribute) and f.attr == "dump" \
+            and isinstance(f.value, ast.Name) \
+            and (imports.module_of(f.value.id) or f.value.id) == "json" \
+            and len(call.args) >= 2:
+        return ast.unparse(call.args[1])
+    if isinstance(f, ast.Name) and f.id == "open" and call.args:
+        mode = ""
+        if len(call.args) >= 2 and isinstance(call.args[1], ast.Constant):
+            mode = str(call.args[1].value)
+        for kw in call.keywords:
+            if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                mode = str(kw.value.value)
+        if any(c in mode for c in "wax"):
+            return ast.unparse(call.args[0])
+    return None
+
+
+def _rule_r010(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for qual in sorted(project.functions):
+        info = project.functions[qual]
+        module = _module_of(project, info.path)
+        body = getattr(info.node, "body", [])
+        atomic = _uses_atomic_replace(info.node, module.imports)
+        ctx = _ctx_for(project, info.path)
+        for stmt in body:
+            # nested defs are analyzed as their own entry
+            for sub in _walk_shallow(stmt):
+                if not isinstance(sub, ast.Call):
+                    continue
+                target = _write_target(sub, module.imports)
+                if target is None:
+                    continue
+                context_text = (target + " " + info.qual).lower()
+                if "tmp" in target.lower():
+                    continue
+                token = next((t for t in _DURABLE_TOKENS
+                              if t in context_text), None)
+                if token is None or atomic:
+                    continue
+                ctx.add(
+                    "R010", SEVERITY_WARNING, sub,
+                    f"durable {token} file written in place ({target}): "
+                    "a crash mid-write leaves a torn file that poisons "
+                    "recovery",
+                    "write a sibling .tmp, flush+fsync, then os.replace "
+                    "(and fsync the directory) as search/checkpoint.py "
+                    "does",
+                )
+        findings.extend(ctx.findings)
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# R011 — non-async-signal-safe signal handlers
+# --------------------------------------------------------------------- #
+
+def _walk_shallow(root: ast.AST):
+    """ast.walk that does not descend into nested function bodies."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def _direct_unsafe(body_root: ast.AST, imports: ImportMap) -> str | None:
+    """A human-readable reason this code is not async-signal-safe, or
+    None.  Lock acquires and blocking calls are reported by the caller
+    from the function summary; this covers I/O-ish work."""
+    for node in _walk_shallow(body_root):
+        if not isinstance(node, ast.Call):
+            continue
+        f = node.func
+        if isinstance(f, ast.Name):
+            if f.id == "print":
+                return "print()"
+            member = imports.member_of(f.id)
+            if member is not None and member[0] == "subprocess":
+                return f"subprocess.{member[1]}"
+            if f.id == "open":
+                return "open()"
+        elif isinstance(f, ast.Attribute):
+            base = f.value
+            mod = ""
+            if isinstance(base, ast.Name):
+                mod = imports.module_of(base.id) or base.id
+            if mod == "logging" or "logger" in ast.unparse(base).lower():
+                return f"logging ({ast.unparse(f)})"
+            if "log" in f.attr.lower() or f.attr == "print":
+                return f"{ast.unparse(f)}()"
+            if f.attr in ("write", "writelines", "flush") \
+                    and "stderr" not in ast.unparse(base):
+                return f"{ast.unparse(f)}()"
+            if mod == "subprocess":
+                return f"subprocess.{f.attr}"
+            if mod == "os" and f.attr == "system":
+                return "os.system"
+    return None
+
+
+def _function_unsafe(project: Project,
+                     cache: dict[str, str | None],
+                     qual: str,
+                     stack: frozenset = _NO_QUALS) -> str | None:
+    if qual in cache:
+        return cache[qual]
+    if qual in stack:
+        return None
+    info = project.functions.get(qual)
+    if info is None:
+        return None
+    module = _module_of(project, info.path)
+    reason = _direct_unsafe_body(info, module.imports)
+    if reason is None:
+        for item in _iter_calls(info.items):
+            if not item[1]:
+                continue
+            sub = _function_unsafe(project, cache, item[1],
+                                   stack | {qual})
+            if sub is not None:
+                callee = project.functions[item[1]]
+                reason = f"{_render_chain((callee.qual,))} -> {sub}"
+                break
+    if not stack:
+        cache[qual] = reason
+    return reason
+
+
+def _direct_unsafe_body(info: FunctionInfo,
+                        imports: ImportMap) -> str | None:
+    if info.acquires:
+        return f"acquires lock {info.acquires[0][0]}"
+    if info.blocking:
+        return f"blocks on {info.blocking[0][0]}"
+    body = getattr(info.node, "body", [])
+    for stmt in body:
+        reason = _direct_unsafe(stmt, imports)
+        if reason is not None:
+            return reason
+    return None
+
+
+def _signal_register_calls(module_tree: ast.Module, imports: ImportMap):
+    for node in ast.walk(module_tree):
+        if not isinstance(node, ast.Call) or len(node.args) < 2:
+            continue
+        f = node.func
+        if isinstance(f, ast.Attribute) and isinstance(f.value, ast.Name):
+            if (imports.module_of(f.value.id) or f.value.id) == "signal" \
+                    and f.attr == "signal":
+                yield node
+        elif isinstance(f, ast.Name):
+            member = imports.member_of(f.id)
+            if member == ("signal", "signal"):
+                yield node
+
+
+def _enclosing_function(project: Project, module,
+                        call: ast.Call) -> FunctionInfo:
+    """The innermost indexed function containing ``call`` (falls back to
+    the module pseudo-function)."""
+    best: FunctionInfo | None = None
+    for info in project.functions.values():
+        if info.path != module.path or info.name == "<module>":
+            continue
+        for sub in ast.walk(info.node):
+            if sub is call:
+                if best is None or len(info.qual) > len(best.qual):
+                    best = info
+                break
+    if best is not None:
+        return best
+    return project.functions[f"{module.module}:<module>"]
+
+
+def _rule_r011(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    cache: dict[str, str | None] = {}
+    for module in project.modules:
+        sig_calls = list(_signal_register_calls(module.tree,
+                                                module.imports))
+        if not sig_calls:
+            continue
+        ctx = RuleContext(tree=None, path=module.path,
+                          source_lines=module.lines)
+        for call in sig_calls:
+            handler = call.args[1]
+            owner = _enclosing_function(project, module, call)
+            resolver = _Resolver(project, module, owner)
+            reason: str | None = None
+            name = ast.unparse(handler)
+            if isinstance(handler, ast.Lambda):
+                reason = _lambda_unsafe(project, cache, module, owner,
+                                        handler)
+                name = "lambda handler"
+            else:
+                target = _resolve_handler(project, module, resolver,
+                                          handler)
+                if target is not None:
+                    reason = _function_unsafe(project, cache, target.qual)
+                    name = f"handler {target.name}()"
+            if reason is None:
+                continue
+            ctx.add(
+                "R011", SEVERITY_ERROR, call,
+                f"{name} does non-async-signal-safe work: {reason}. "
+                "Signal handlers interrupt arbitrary frames — logging, "
+                "I/O or lock use here can self-deadlock or corrupt state",
+                "set a flag or threading.Event in the handler and do the "
+                "real work in the main loop (see engines/cancel.py)",
+            )
+        findings.extend(ctx.findings)
+    return findings
+
+
+def _resolve_handler(project: Project, module, resolver: _Resolver,
+                     handler: ast.expr) -> FunctionInfo | None:
+    fake = ast.Call(func=handler, args=[], keywords=[])
+    ast.copy_location(fake, handler)
+    return resolver.resolve(fake)
+
+
+def _lambda_unsafe(project: Project, cache, module, owner: FunctionInfo,
+                   handler: ast.Lambda) -> str | None:
+    reason = _direct_unsafe(handler.body, module.imports)
+    if reason is not None:
+        return reason
+    resolver = _Resolver(project, module, owner)
+    for node in ast.walk(handler.body):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = resolver.resolve(node)
+        if callee is None:
+            continue
+        sub = _function_unsafe(project, cache, callee.qual)
+        if sub is not None:
+            return f"{callee.name}() -> {sub}"
+    return None

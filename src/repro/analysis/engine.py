@@ -25,11 +25,13 @@ from repro.analysis.findings import (
 )
 from repro.analysis.rules import (
     ImportMap,
+    NO_NAMES,
     run_syntax_rules,
     set_returning_functions,
 )
 
-__all__ = ["AnalysisReport", "analyze_source", "analyze_paths", "RULES"]
+__all__ = ["AnalysisReport", "analyze_source", "analyze_paths", "RULES",
+           "PROFILES"]
 
 #: Rule catalog: id -> one-line description (docs + ``repro lint --rules``).
 RULES = {
@@ -37,9 +39,29 @@ RULES = {
     "R002": "iteration over an unordered container (set / dict-from-set / "
             "unsorted filesystem listing)",
     "R003": "collective under rank-dependent or exception-dependent "
-            "branching (mismatched collective sequences)",
+            "branching or call chains (mismatched collective sequences)",
     "R004": "wall-clock read outside the observability layer",
     "R005": "float accumulation over an order-nondeterministic iterable",
+    "R006": "collective issued (or reached via a call) while holding a "
+            "lock — distributed deadlock if a peer rank needs the lock",
+    "R007": "attribute of a lock-owning class written without the lock "
+            "that protects it elsewhere",
+    "R008": "inconsistent lock-acquisition order across functions "
+            "(ABBA in-process deadlock)",
+    "R009": "blocking call (child wait, recv/sleep without timeout, "
+            "flock) while holding a lock",
+    "R010": "durable manifest/checkpoint file written without the "
+            "tmp+fsync+rename discipline",
+    "R011": "non-async-signal-safe work (logging, I/O, locks, blocking "
+            "calls) inside a signal handler",
+}
+
+#: Rule groups selectable via ``repro lint --profile``.
+PROFILES = {
+    "replica": frozenset({"R001", "R002", "R003", "R004", "R005",
+                          "R006"}),
+    "concurrency": frozenset({"R007", "R008", "R009", "R010", "R011"}),
+    "all": frozenset(RULES),
 }
 
 def _is_obs_path(path: str) -> bool:
@@ -62,6 +84,7 @@ class AnalysisReport:
         default_factory=list)
     parse_errors: list[tuple[str, str]] = field(default_factory=list)
     files_scanned: int = 0
+    profile: str = "all"
 
     @property
     def exit_code(self) -> int:
@@ -75,7 +98,8 @@ class AnalysisReport:
 
     def to_dict(self) -> dict:
         return {
-            "version": 1,
+            "version": 2,
+            "profile": self.profile,
             "files_scanned": self.files_scanned,
             "counts": {
                 "new": len(self.findings),
@@ -103,7 +127,7 @@ class AnalysisReport:
 
 def analyze_source(
     source: str, path: str,
-    set_fns: frozenset[str] = frozenset(),
+    set_fns: frozenset[str] = NO_NAMES,
 ) -> tuple[list[Finding], list[Suppression]]:
     """Run every rule over one file's source.
 
@@ -150,13 +174,23 @@ def _resolve_imported_set_fns(
     return frozenset(aliases)
 
 
-def _discover(paths: list[str | Path]) -> list[Path]:
+def _discover(paths: list[str | Path],
+              exclude: tuple[str, ...] = ()) -> list[Path]:
+    def excluded(p: Path) -> bool:
+        norm = str(p).replace("\\", "/")
+        for e in exclude:
+            e = e.replace("\\", "/").rstrip("/")
+            if norm == e or norm.startswith(e + "/"):
+                return True
+        return False
+
     out: list[Path] = []
     for p in paths:
         p = Path(p)
         if p.is_dir():
-            out.extend(sorted(p.rglob("*.py")))
-        elif p.suffix == ".py":
+            out.extend(q for q in sorted(p.rglob("*.py"))
+                       if not excluded(q))
+        elif p.suffix == ".py" and not excluded(p):
             out.append(p)
     # de-duplicate, preserving order
     seen: set[Path] = set()
@@ -172,9 +206,31 @@ def _discover(paths: list[str | Path]) -> list[Path]:
 def analyze_paths(
     paths: list[str | Path],
     baseline: Baseline | None = None,
+    profile: str = "all",
+    select: frozenset[str] | None = None,
+    exclude: tuple[str, ...] = (),
+    order_safe: frozenset[str] = NO_NAMES,
 ) -> AnalysisReport:
-    """Analyze files/directories and apply suppressions + baseline."""
-    report = AnalysisReport()
+    """Analyze files/directories and apply suppressions + baseline.
+
+    ``profile`` picks a rule group (:data:`PROFILES`); ``select``
+    overrides it with an explicit rule-id set.  ``exclude`` drops path
+    prefixes from discovery (e.g. fixture directories that are
+    intentionally violating).  ``order_safe`` extends the order-safe
+    consumer allowlist of R002 for scan targets (like tests) with local
+    order-insensitive helpers.
+
+    Unlike v1, the collective rule runs on a *project-wide* call graph
+    (:mod:`repro.analysis.callgraph`), so the R003/R006 findings here
+    see through call chains that :func:`analyze_source` (the per-file
+    v1 engine, kept for comparison and snippet checks) cannot.
+    """
+    if profile not in PROFILES:
+        raise ValueError(
+            f"unknown profile {profile!r}; expected one of "
+            f"{sorted(PROFILES)}")
+    active = frozenset(select) if select else PROFILES[profile]
+    report = AnalysisReport(profile=profile)
     baseline = baseline or Baseline()
     all_findings: list[Finding] = []
     per_file_suppressions: dict[str, list[Suppression]] = {}
@@ -184,7 +240,7 @@ def analyze_paths(
     # `splits = bipartitions(tree)` across module boundaries.
     parsed: list[tuple[Path, str, ast.Module]] = []
     sig_index: dict[str, set[str]] = {}
-    for path in _discover(paths):
+    for path in _discover(paths, exclude):
         path_str = str(path)
         try:
             source = path.read_text()
@@ -197,17 +253,34 @@ def analyze_paths(
         if fns:
             sig_index[_module_name(path)] = fns
 
-    # Pass 2: run the rules.
+    # Pass 2: per-file syntax rules + suppressions.
     for path, source, tree in parsed:
         path_str = str(path)
-        findings, suppressions = analyze_source(
-            source, path_str,
+        findings = run_syntax_rules(
+            tree, path_str, source.splitlines(),
+            skip_r004=_is_obs_path(path_str),
             set_fns=_resolve_imported_set_fns(tree, sig_index),
+            order_safe=order_safe,
         )
         report.files_scanned += 1
         all_findings.extend(findings)
-        per_file_suppressions[path_str] = suppressions
+        per_file_suppressions[path_str] = parse_suppressions(source)
 
+    # Pass 3: project-wide call-graph rules (R003/R006 + R007–R011).
+    if active.intersection(
+            {"R003", "R006", "R007", "R008", "R009", "R010", "R011"}):
+        from repro.analysis.callgraph import (
+            build_project,
+            run_collective_flow_rules,
+        )
+        from repro.analysis.concurrency import run_concurrency_rules
+
+        project = build_project(
+            (str(path), source, tree) for path, source, tree in parsed)
+        all_findings.extend(run_collective_flow_rules(project))
+        all_findings.extend(run_concurrency_rules(project))
+
+    all_findings = [f for f in all_findings if f.rule in active]
     assign_fingerprints(all_findings)
 
     used: set[tuple[str, int]] = set()
@@ -227,6 +300,8 @@ def analyze_paths(
 
     for path_str, suppressions in per_file_suppressions.items():
         for s in suppressions:
+            if not s.rules.intersection(active):
+                continue   # out-of-profile pragmas are not this run's business
             if not s.justified:
                 report.unjustified_suppressions.append((path_str, s))
             if (path_str, s.pragma_line) not in used:

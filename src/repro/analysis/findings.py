@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import os
 import re
 import tokenize
 from dataclasses import dataclass, field
@@ -175,8 +176,21 @@ class Baseline:
 
     def save(self, path: str | Path) -> None:
         entries = [self.fingerprints[k] for k in sorted(self.fingerprints)]
-        Path(path).write_text(json.dumps(
-            {"version": 1, "findings": entries}, indent=2) + "\n")
+        payload = json.dumps(
+            {"version": 1, "findings": entries}, indent=2) + "\n"
+        # tmp + fsync + rename: the baseline gates CI, so a torn write
+        # must not be able to pass (or fail) a build.
+        final = Path(path)
+        tmp = final.with_name(final.name + ".tmp")
+        try:
+            with open(tmp, "w") as fh:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, final)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
 
     def __contains__(self, finding: Finding) -> bool:
         return finding.fingerprint in self.fingerprints

@@ -44,6 +44,10 @@ __all__ = [
     "set_returning_functions",
 ]
 
+#: Shared empty default for name-set parameters (a constant, not a
+#: call, so bugbear's call-in-default rule stays quiet).
+NO_NAMES: frozenset[str] = frozenset()
+
 # Legacy numpy global-state RNG entry points (np.random.<name>).
 _NP_LEGACY = frozenset({
     "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
@@ -188,7 +192,7 @@ class SetTracker:
     """
 
     def __init__(self, tree: ast.Module, imports: ImportMap,
-                 set_fns: frozenset[str] = frozenset()) -> None:
+                 set_fns: frozenset[str] = NO_NAMES) -> None:
         self.imports = imports
         self.set_fns = set(set_fns) | set_returning_functions(tree)
         self.set_names: set[str] = set()
@@ -311,10 +315,12 @@ def _enclosing_none_default_params(
     args = cur.args
     out: set[str] = set()
     pos = args.posonlyargs + args.args
-    for arg, default in zip(pos[len(pos) - len(args.defaults):], args.defaults):
+    for arg, default in zip(pos[len(pos) - len(args.defaults):],
+                            args.defaults, strict=True):
         if isinstance(default, ast.Constant) and default.value is None:
             out.add(arg.arg)
-    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults,
+                            strict=True):
         if (default is not None and isinstance(default, ast.Constant)
                 and default.value is None):
             out.add(arg.arg)
@@ -392,12 +398,21 @@ def _is_sum_func(func: ast.expr) -> bool:
 
 
 def _order_safe_parent(node: ast.AST,
-                       parents: dict[ast.AST, ast.AST]) -> bool:
-    """Is this expression consumed by an order-insensitive construct?"""
+                       parents: dict[ast.AST, ast.AST],
+                       order_safe: frozenset[str] = NO_NAMES) -> bool:
+    """Is this expression consumed by an order-insensitive construct?
+
+    ``order_safe`` extends the built-in consumer allowlist with names
+    the scan target vouches for (e.g. ``Counter``, ``approx_equal``
+    helpers in tests).
+    """
     parent = parents.get(node)
     if isinstance(parent, ast.Call) and node in parent.args:
         f = parent.func
-        if isinstance(f, ast.Name) and f.id in ORDER_SAFE_CONSUMERS:
+        if isinstance(f, ast.Name) and (
+                f.id in ORDER_SAFE_CONSUMERS or f.id in order_safe):
+            return True
+        if isinstance(f, ast.Attribute) and f.attr in order_safe:
             return True
         if isinstance(f, ast.Attribute) and f.attr in (
             "union", "update", "intersection", "difference", "join",
@@ -411,7 +426,8 @@ def _order_safe_parent(node: ast.AST,
 
 
 def _rule_r002(ctx: RuleContext, sets: SetTracker,
-               parents: dict[ast.AST, ast.AST]) -> None:
+               parents: dict[ast.AST, ast.AST],
+               order_safe: frozenset[str] = NO_NAMES) -> None:
     hint = "wrap the iterable in sorted(...) with a deterministic key"
 
     def flag(iter_node: ast.expr, where: ast.AST) -> None:
@@ -432,7 +448,7 @@ def _rule_r002(ctx: RuleContext, sets: SetTracker,
                 if isinstance(node, ast.SetComp):
                     continue  # set -> set keeps (non-)order, no new hazard
                 if isinstance(node, ast.GeneratorExp) and _order_safe_parent(
-                    node, parents
+                    node, parents, order_safe
                 ):
                     continue
                 # sum(...) over unordered is R005's (more specific) finding
@@ -445,7 +461,10 @@ def _rule_r002(ctx: RuleContext, sets: SetTracker,
         elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
             if node.func.id in ("list", "tuple", "iter", "enumerate",
                                 "reversed") and node.args:
-                if sets.is_unordered(node.args[0]):
+                if sets.is_unordered(node.args[0]) and not (
+                    order_safe and _order_safe_parent(node, parents,
+                                                      order_safe)
+                ):
                     flag(node.args[0], node)
 
 
@@ -557,14 +576,16 @@ def _rule_r005(ctx: RuleContext, sets: SetTracker, imports: ImportMap) -> None:
 def run_syntax_rules(tree: ast.Module, path: str,
                      source_lines: list[str],
                      skip_r004: bool = False,
-                     set_fns: frozenset[str] = frozenset()) -> list[Finding]:
+                     set_fns: frozenset[str] = NO_NAMES,
+                     order_safe: frozenset[str] = NO_NAMES,
+                     ) -> list[Finding]:
     """Run R001/R002/R004/R005 over one parsed file."""
     ctx = RuleContext(tree=tree, path=path, source_lines=source_lines)
     imports = ImportMap(tree)
     sets = SetTracker(tree, imports, set_fns)
     parents = _build_parents(tree)
     _rule_r001(ctx, imports, parents)
-    _rule_r002(ctx, sets, parents)
+    _rule_r002(ctx, sets, parents, order_safe)
     if not skip_r004:
         _rule_r004(ctx, imports, parents)
     _rule_r005(ctx, sets, imports)

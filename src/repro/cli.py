@@ -1115,11 +1115,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     """replicheck: determinism & collective-consistency static analysis."""
     import json
 
-    from repro.analysis import RULES, Baseline, analyze_paths
+    from repro.analysis import (
+        PROFILES,
+        RULES,
+        Baseline,
+        analyze_paths,
+        to_sarif,
+    )
 
     if args.rules:
         for rule_id, desc in sorted(RULES.items()):
-            print(f"{rule_id}  {desc}")
+            profile = next(p for p in ("replica", "concurrency")
+                           if rule_id in PROFILES[p])
+            print(f"{rule_id}  [{profile}] {desc}")
         return 0
 
     paths = args.paths
@@ -1129,9 +1137,21 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
         paths = [str(Path(repro.__file__).parent)]
 
+    select = None
+    if args.select:
+        select = frozenset(
+            r.strip().upper() for r in args.select.split(",") if r.strip())
+        unknown = select - set(RULES)
+        if unknown:
+            raise SystemExit(f"unknown rule id(s): {sorted(unknown)}")
+    order_safe = frozenset(
+        n.strip() for n in (args.order_safe or "").split(",") if n.strip())
+
     baseline = (Baseline() if args.no_baseline
                 else Baseline.load(args.baseline))
-    report = analyze_paths(paths, baseline=baseline)
+    report = analyze_paths(
+        paths, baseline=baseline, profile=args.profile, select=select,
+        exclude=tuple(args.exclude or ()), order_safe=order_safe)
 
     if args.write_baseline:
         new_baseline = Baseline.from_findings(
@@ -1145,9 +1165,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.out:
         Path(args.out).write_text(
             json.dumps(report.to_dict(), indent=2) + "\n")
+    if args.sarif_out:
+        Path(args.sarif_out).write_text(
+            json.dumps(to_sarif(report, RULES), indent=2) + "\n")
 
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2))
+        return report.exit_code
+    if args.format == "sarif":
+        print(json.dumps(to_sarif(report, RULES), indent=2))
         return report.exit_code
 
     for f in report.findings:
@@ -1471,9 +1497,29 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*",
                       help="files or directories to analyze (default: "
                            "the installed repro package)")
-    lint.add_argument("--format", choices=["text", "json"],
+    lint.add_argument("--profile",
+                      choices=["replica", "concurrency", "all"],
+                      default="all",
+                      help="rule group to run: replica-divergence rules "
+                           "(R001-R006), the threaded-service "
+                           "concurrency pack (R007-R011), or all "
+                           "(default all)")
+    lint.add_argument("--select", metavar="RULES",
+                      help="comma-separated rule ids to run instead of "
+                           "a profile (e.g. R002,R005)")
+    lint.add_argument("--exclude", action="append", metavar="PATH",
+                      help="path prefix to skip during discovery (may "
+                           "repeat; e.g. tests/fixtures)")
+    lint.add_argument("--order-safe", metavar="NAMES",
+                      help="comma-separated extra order-safe consumer "
+                           "names for R002 (project helpers that are "
+                           "order-insensitive)")
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
                       default="text",
                       help="finding output format (default text)")
+    lint.add_argument("--sarif-out", metavar="PATH",
+                      help="also write a SARIF 2.1.0 log here (for "
+                           "GitHub code scanning upload)")
     lint.add_argument("--baseline", default="replicheck.baseline.json",
                       metavar="PATH",
                       help="committed baseline of tolerated findings "

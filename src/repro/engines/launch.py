@@ -312,6 +312,7 @@ def _decentral_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult:
                     # far until a round completes on the survivors.
                     while True:
                         try:
+                            # replicheck: ignore[R003] -- recovery starts with comm.agree so every rank converges on the failed set before any survivor-side collective is issued
                             backend, report = recover_decentralized(
                                 backend, failed_set, payload["parts"],
                                 payload["dist_kind"],
@@ -507,6 +508,7 @@ def _forkjoin_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult | N
                 refreshed = {leaf.id: taxon_row[leaf.label]
                              for leaf in tree.leaves()}
             node_taxon = comm.bcast(refreshed, root=0, tag=CAT_TRAVERSAL)
+        # replicheck: ignore[R003] -- master/worker command protocol: the master's set_* calls broadcast commands that the workers' command loop answers with the matching collectives
         if comm.rank == 0:
             if resume_from:
                 from repro.model.rates import DiscreteGamma

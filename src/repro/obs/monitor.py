@@ -385,8 +385,16 @@ class MonitorThread:
             self.first_stall = diag
             try:
                 self.diagnosis_path.parent.mkdir(parents=True, exist_ok=True)
-                self.diagnosis_path.write_text(
-                    json.dumps(diag.to_dict(), indent=2) + "\n")
+                # tmp + fsync + rename: the supervisor reads this file to
+                # pick an escalation tier, so it must never see a torn
+                # half-written diagnosis.
+                tmp = self.diagnosis_path.with_name(
+                    self.diagnosis_path.name + ".tmp")
+                with open(tmp, "w") as fh:
+                    fh.write(json.dumps(diag.to_dict(), indent=2) + "\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, self.diagnosis_path)
             except OSError:  # pragma: no cover
                 pass
             if self.on_stall is not None:

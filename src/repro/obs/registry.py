@@ -132,7 +132,11 @@ class RunRegistry:
         manifest["run_id"] = run_id
         manifest.setdefault("created", time.strftime("%Y-%m-%dT%H:%M:%S"))
         manifest.setdefault("status", "running")
-        self._write_manifest(run_id, manifest)
+        # under the sidecar lock like every other writer: a pre-reserved
+        # run_id means another process may already be attaching fields to
+        # this manifest, and an unlocked register could clobber them.
+        with _manifest_lock(self.root / run_id):
+            self._write_manifest(run_id, manifest)
         return run_id
 
     def update(self, run_id: str, **fields: Any) -> dict[str, Any]:

@@ -98,6 +98,7 @@ class ServeDaemon:
         # replicheck: ignore[R004] -- daemon uptime for /healthz; service bookkeeping
         self._started_mono = time.monotonic()
         self._draining = threading.Event()
+        self._drain_noted = False
         self._stopped = threading.Event()
 
     # -- HTTP-facing operations ---------------------------------------- #
@@ -228,6 +229,10 @@ class ServeDaemon:
 
     def _launch(self, grant: PendingJob) -> None:
         manifest = self.store.load(grant.job_id)
+        if manifest.get("status") != "queued":
+            # cancelled (or otherwise moved on) between selection and
+            # launch — the grant is stale, skip it
+            return
         spec = JobSpec.from_dict(manifest["job"])
         trace_id = str(manifest.get("trace_id") or "")
         queue = manifest.get("queue") or {}
@@ -276,11 +281,15 @@ class ServeDaemon:
             log_file.close()
             raise
         launched_ns = now_ns()
-        self._start_seq += 1
+        with self._lock:
+            self._start_seq += 1
+            start_seq = self._start_seq
         # replicheck: ignore[R004] -- grant/launch wall stamps for SLO analytics; daemon-side bookkeeping
         now_wall = time.time()
+        # registry write (flock) happens with the daemon lock released,
+        # so HTTP threads are never stalled behind the sidecar lock
         self.store.mark_running(
-            grant.job_id, grant.ranks, self._start_seq,
+            grant.job_id, grant.ranks, start_seq,
             granted_s=now_wall, granted_ns=granted_ns,
             launched_s=now_wall, launched_ns=launched_ns,
             pid=proc.pid, pool_ranks=self.policy.pool_ranks)
@@ -300,29 +309,53 @@ class ServeDaemon:
                     tenant=grant.tenant, priority=grant.priority))
             records.append(service_instant(
                 "granted", trace_id, t_ns=granted_ns,
-                ranks=grant.ranks, start_seq=self._start_seq))
+                ranks=grant.ranks, start_seq=start_seq))
             records.append(service_span(
                 "launched", trace_id, granted_ns, launched_ns,
                 pid=proc.pid))
             record_service_spans(run_dir, records)
-        self._noted_skips.pop(grant.job_id, None)
-        self._children[grant.job_id] = proc
-        self._child_logs[grant.job_id] = log_file
-        self._child_ranks[grant.job_id] = grant.ranks
-        self._child_tenants[grant.job_id] = grant.tenant
+        with self._lock:
+            self._noted_skips.pop(grant.job_id, None)
+            self._children[grant.job_id] = proc
+            self._child_logs[grant.job_id] = log_file
+            self._child_ranks[grant.job_id] = grant.ranks
+            self._child_tenants[grant.job_id] = grant.tenant
+        # Close the cancel/launch race: a cancel that landed between
+        # selection and the registration above saw status "running" but
+        # found no child process to signal.  Now that the child is
+        # registered (so any later cancel will find it), re-read the
+        # manifest and deliver the signal ourselves if one was pending.
+        q = dict(self.store.load(grant.job_id).get("queue") or {})
+        if q.get("cancel_requested"):
+            proc.send_signal(signal.SIGTERM)
+            self._log(f"[serve] job {grant.job_id}: SIGTERM sent "
+                      f"(cancel requested during launch)")
         self._log(f"[serve] job {grant.job_id} started: {grant.ranks} "
-                  f"rank(s), pid {proc.pid}, start_seq {self._start_seq}")
+                  f"rank(s), pid {proc.pid}, start_seq {start_seq}")
 
     def _reap(self) -> None:
-        for job_id in sorted(self._children):
-            proc = self._children[job_id]
-            rc = proc.poll()
-            if rc is None:
-                continue
-            del self._children[job_id]
-            self._child_ranks.pop(job_id, None)
-            self._child_tenants.pop(job_id, None)
-            log_file = self._child_logs.pop(job_id, None)
+        """Reap finished children.
+
+        Split into two phases on purpose: the shared child maps are
+        updated under the daemon lock, but the per-job finalization
+        (registry writes behind the flock sidecar, trace I/O, logging)
+        runs with the lock released — HTTP handler threads keep
+        answering ``/healthz`` and ``cancel`` while manifests are
+        stamped.
+        """
+        finished: list[tuple[str, int, IO[bytes] | None]] = []
+        with self._lock:
+            for job_id in sorted(self._children):
+                proc = self._children[job_id]
+                rc = proc.poll()
+                if rc is None:
+                    continue
+                del self._children[job_id]
+                self._child_ranks.pop(job_id, None)
+                self._child_tenants.pop(job_id, None)
+                finished.append(
+                    (job_id, rc, self._child_logs.pop(job_id, None)))
+        for job_id, rc, log_file in finished:
             if log_file is not None:
                 log_file.close()
             finished_ns = now_ns()
@@ -349,48 +382,63 @@ class ServeDaemon:
                       f"(exit {rc})")
 
     def tick(self, now: float | None = None) -> None:
-        """One scheduler heartbeat (reap, select, launch, gauge)."""
+        """One scheduler heartbeat (reap, select, launch, gauge).
+
+        The daemon lock is held only for the in-memory scheduler state
+        (child maps, skip reasons, counters) — every registry access
+        (``pending``, launch stamps, reap finalization) runs unlocked so
+        the flock sidecar can never stall HTTP threads behind a tick.
+        """
         if now is None:
             # replicheck: ignore[R004] -- scheduler bookkeeping in the daemon; jobs run in their own processes
             now = time.time()
+        self._reap()
+        pending = self.store.pending()
+        grants: list[PendingJob] = []
+        skipped: dict[str, str] = {}
         with self._lock:
-            self._reap()
-            pending = self.store.pending()
             if not self._draining.is_set() and pending:
                 free = self.policy.pool_ranks - self._busy_ranks()
                 selection = select(self.policy, pending, free,
                                    self._running_by_tenant(), now)
                 self._skip_reasons = selection.skipped
-                self._note_skips(selection.skipped)
-                for grant in selection.grants:
-                    self._launch(grant)
+                skipped = selection.skipped
+                grants = list(selection.grants)
             elif not pending:
                 self._skip_reasons = {}
-            self.metrics.gauge("serve.queue_depth").set(
-                float(len(self.store.pending())))
-            self.metrics.gauge("serve.jobs_running").set(
-                float(len(self._children)))
+        if skipped:
+            self._note_skips(skipped)
+        for grant in grants:
+            self._launch(grant)
+        queue_depth = float(len(self.store.pending()))
+        with self._lock:
+            running = float(len(self._children))
             busy = self._busy_ranks()
-            pool = max(1, self.policy.pool_ranks)
-            self.metrics.gauge("serve.pool_busy_ranks").set(float(busy))
-            self.metrics.gauge("serve.pool_ranks").set(
-                float(self.policy.pool_ranks))
-            self.metrics.gauge("serve.pool_utilization").set(busy / pool)
             by_tenant = self._running_by_tenant()
             self._gauged_tenants.update(by_tenant)
-            for tenant in sorted(self._gauged_tenants):
-                self.metrics.gauge(
-                    f"serve.tenant_running_ranks.{tenant}").set(
-                        float(by_tenant.get(tenant, 0)))
+            gauged = sorted(self._gauged_tenants)
+        self.metrics.gauge("serve.queue_depth").set(queue_depth)
+        self.metrics.gauge("serve.jobs_running").set(running)
+        pool = max(1, self.policy.pool_ranks)
+        self.metrics.gauge("serve.pool_busy_ranks").set(float(busy))
+        self.metrics.gauge("serve.pool_ranks").set(
+            float(self.policy.pool_ranks))
+        self.metrics.gauge("serve.pool_utilization").set(busy / pool)
+        for tenant in gauged:
+            self.metrics.gauge(
+                f"serve.tenant_running_ranks.{tenant}").set(
+                    float(by_tenant.get(tenant, 0)))
 
     def _note_skips(self, skipped: dict[str, str]) -> None:
         """Trace a ``sched_skip`` instant when a job's skip reason
         changes (never per tick — a stable reason is traced once)."""
-        for job_id in sorted(skipped):
-            reason = skipped[job_id]
-            if self._noted_skips.get(job_id) == reason:
-                continue
-            self._noted_skips[job_id] = reason
+        with self._lock:
+            changed = [(job_id, skipped[job_id])
+                       for job_id in sorted(skipped)
+                       if self._noted_skips.get(job_id) != skipped[job_id]]
+            for job_id, reason in changed:
+                self._noted_skips[job_id] = reason
+        for job_id, reason in changed:
             try:
                 manifest = self.store.load(job_id)
             except (FileNotFoundError, OSError):
@@ -404,9 +452,18 @@ class ServeDaemon:
 
     # -- lifecycle ------------------------------------------------------ #
     def drain(self) -> None:
-        """Stop admitting and starting jobs; running jobs may finish."""
-        if not self._draining.is_set():
-            self._draining.set()
+        """Stop admitting and starting jobs; running jobs may finish.
+
+        Async-signal-safe by construction: it only sets an Event.  The
+        run loop (and :meth:`_drain_log_once`) does the logging — a
+        SIGTERM arriving while some thread holds an I/O or logging lock
+        must not make the handler re-enter it.
+        """
+        self._draining.set()
+
+    def _drain_log_once(self) -> None:
+        if self._draining.is_set() and not self._drain_noted:
+            self._drain_noted = True
             self._log("[serve] draining: admission closed, waiting for "
                       "running jobs")
 
@@ -429,6 +486,7 @@ class ServeDaemon:
                   f"{self.store.root})")
         try:
             while True:
+                self._drain_log_once()
                 self.tick()
                 with self._lock:
                     idle = not self._children

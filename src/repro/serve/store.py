@@ -197,6 +197,12 @@ class JobStore:
         q = dict(manifest.get("queue") or {})
         if status == "queued":
             q["state"] = "cancelled"
+            # also stamp cancel_requested: if the daemon grabbed this job
+            # between our load and this write, its mark_running preserves
+            # the queue block's extra keys, and the launch path re-checks
+            # this flag after registering the child — the cancel wins
+            # either way instead of silently losing the race.
+            q["cancel_requested"] = True
             self.registry.update(job_id, status="cancelled", queue=q)
             return "cancelled"
         if status == "running":

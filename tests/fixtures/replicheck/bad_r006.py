@@ -1,0 +1,20 @@
+"""Known-bad fixture: collectives issued while holding a lock (R006)."""
+
+import threading
+
+_MODEL_LOCK = threading.Lock()
+
+
+def locked_allreduce(comm, values):
+    with _MODEL_LOCK:
+        return comm.allreduce(values, tag="model parameters")  # R006
+
+
+def _reduce_step(comm, xs):
+    return comm.allreduce(xs, tag="per-site/per-partition likelihoods")
+
+
+def locked_chain(comm, xs):
+    with _MODEL_LOCK:
+        # R006 via call chain: _reduce_step issues the collective
+        return _reduce_step(comm, xs)

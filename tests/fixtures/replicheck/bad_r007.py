@@ -1,0 +1,22 @@
+"""Known-bad fixture: unprotected writes to lock-owned attributes (R007)."""
+
+import threading
+
+
+class SharedCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.peak = 0
+
+    def add(self, n):
+        with self._lock:
+            self.count += n
+            if self.count > self.peak:
+                self.peak = self.count
+
+    def reset(self):
+        self.count = 0  # R007: written under self._lock in add()
+
+    def decay(self):
+        self.peak = self.peak // 2  # R007: written under self._lock in add()

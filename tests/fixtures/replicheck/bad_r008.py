@@ -1,0 +1,18 @@
+"""Known-bad fixture: inconsistent lock-acquisition order (R008)."""
+
+import threading
+
+_IO_LOCK = threading.Lock()
+_STATE_LOCK = threading.Lock()
+
+
+def forward(state):
+    with _IO_LOCK:          # R008: io -> state here, state -> io below
+        with _STATE_LOCK:
+            return list(state)
+
+
+def backward(state):
+    with _STATE_LOCK:       # R008: the inverted order
+        with _IO_LOCK:
+            return tuple(state)

@@ -1,0 +1,16 @@
+"""Known-bad fixture: blocking calls while holding a lock (R009)."""
+
+import time
+import threading
+
+_REAP_LOCK = threading.Lock()
+
+
+def slow_tick(delay):
+    with _REAP_LOCK:
+        time.sleep(delay)  # R009: every contender waits on the sleep too
+
+
+def reap(proc):
+    with _REAP_LOCK:
+        return proc.wait()  # R009: unbounded child wait under the lock

@@ -1,0 +1,12 @@
+"""Known-bad fixture: durable artifacts written non-atomically (R010)."""
+
+import json
+
+
+def write_manifest(manifest, path):
+    path.write_text(json.dumps(manifest))  # R010: in-place manifest write
+
+
+def update_baseline(entries):
+    with open("baseline.json", "w") as fh:  # R010: torn write poisons CI
+        fh.write(json.dumps(entries))

@@ -1,0 +1,13 @@
+"""Known-bad fixture: non-async-signal-safe signal handlers (R011)."""
+
+import signal
+
+
+def _on_term(signum, frame):
+    with open("status.txt", "w") as fh:
+        fh.write("terminated\n")
+
+
+signal.signal(signal.SIGTERM, _on_term)  # R011: handler does file I/O
+signal.signal(signal.SIGINT,
+              lambda signum, frame: print("interrupted"))  # R011: print

@@ -1,0 +1,18 @@
+"""Known-good fixture: locks protect local state, collectives run outside."""
+
+import threading
+
+_CACHE_LOCK = threading.Lock()
+_cache = {}
+
+
+def reduce_then_cache(comm, key, values):
+    total = comm.allreduce(values, tag="per-site/per-partition likelihoods")
+    with _CACHE_LOCK:
+        _cache[key] = total
+    return total
+
+
+def read_cached(key):
+    with _CACHE_LOCK:
+        return _cache.get(key)

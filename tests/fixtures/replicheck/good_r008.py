@@ -1,0 +1,23 @@
+"""Known-good fixture: one global lock order, everywhere."""
+
+import threading
+
+_IO_LOCK = threading.Lock()
+_STATE_LOCK = threading.Lock()
+
+
+def forward(state):
+    with _IO_LOCK:
+        with _STATE_LOCK:
+            return list(state)
+
+
+def snapshot(state):
+    with _IO_LOCK:
+        with _STATE_LOCK:
+            return tuple(state)
+
+
+def io_only(payload):
+    with _IO_LOCK:
+        return len(payload)

@@ -1,0 +1,19 @@
+"""Known-good fixture: blocking work happens outside locked regions."""
+
+import time
+import threading
+
+_REAP_LOCK = threading.Lock()
+
+
+def slow_tick(delay, stats):
+    time.sleep(delay)
+    with _REAP_LOCK:
+        stats["ticks"] = stats.get("ticks", 0) + 1
+
+
+def reap(proc, stats):
+    code = proc.wait(timeout=5)  # bounded wait is not a blocking hazard
+    with _REAP_LOCK:
+        stats["reaped"] = code
+    return code

@@ -1,0 +1,18 @@
+"""Known-good fixture: durable writes use tmp + fsync + rename."""
+
+import json
+import os
+
+
+def write_manifest(manifest, path):
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as fh:
+        fh.write(json.dumps(manifest))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def scratch_notes(notes, path):
+    # not a durable artifact: plain scratch output needs no discipline
+    path.write_text("\n".join(notes))

@@ -1,0 +1,14 @@
+"""Known-good fixture: signal handlers only set a flag."""
+
+import signal
+import threading
+
+_shutdown = threading.Event()
+
+
+def _on_term(signum, frame):
+    _shutdown.set()
+
+
+signal.signal(signal.SIGTERM, _on_term)
+signal.signal(signal.SIGINT, lambda signum, frame: _shutdown.set())

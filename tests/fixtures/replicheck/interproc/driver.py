@@ -1,0 +1,14 @@
+"""Driver module: the rank-dependent branch that only rank 0 takes.
+
+Per-file analysis sees an ordinary function call in the branch; only
+the project-wide call graph knows ``refresh`` reaches ``comm.bcast``
+two modules away — so v1 passes this file and v2 flags it (R003).
+"""
+
+from mid import refresh
+
+
+def step(comm, model):
+    if comm.rank == 0:
+        refresh(comm, model)
+    return model

@@ -1,0 +1,7 @@
+"""Middle module: forwards to the collective, no comm.* call of its own."""
+
+from collectives_mod import sync_model
+
+
+def refresh(comm, model):
+    return sync_model(comm, model)

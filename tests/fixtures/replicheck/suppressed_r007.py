@@ -1,0 +1,17 @@
+"""Suppressed fixture: a justified unsynchronized-write exemption."""
+
+import threading
+
+
+class Metrics:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.samples = 0
+
+    def record(self, n):
+        with self._lock:
+            self.samples += n
+
+    def reset_for_tests(self):
+        # replicheck: ignore[R007] -- test-only reset, called before any worker thread starts
+        self.samples = 0

@@ -1,0 +1,20 @@
+"""Suppressed fixture: a justified lock-order exemption."""
+
+import threading
+
+_A_LOCK = threading.Lock()
+_B_LOCK = threading.Lock()
+
+
+def setup(state):
+    with _A_LOCK:
+        # replicheck: ignore[R008] -- setup() runs single-threaded at import time, before teardown()'s thread exists
+        with _B_LOCK:
+            return list(state)
+
+
+def teardown(state):
+    with _B_LOCK:
+        # replicheck: ignore[R008] -- teardown() runs after every worker joined; no thread can interleave with setup()
+        with _A_LOCK:
+            return tuple(state)

@@ -1,0 +1,12 @@
+"""Suppressed fixture: a justified blocking-under-lock exemption."""
+
+import time
+import threading
+
+_POLL_LOCK = threading.Lock()
+
+
+def debounce(delay):
+    with _POLL_LOCK:
+        # replicheck: ignore[R009] -- deliberate debounce: contenders must observe the full settle window
+        time.sleep(delay)

@@ -1,0 +1,13 @@
+"""Suppressed fixture: a justified signal-handler exemption."""
+
+import signal
+import sys
+
+
+def _on_term(signum, frame):
+    print("shutting down")
+    sys.exit(1)
+
+
+# replicheck: ignore[R011] -- crash-only CLI: one progress line then exit; nothing in this process holds locks when it runs
+signal.signal(signal.SIGTERM, _on_term)

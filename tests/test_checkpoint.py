@@ -149,7 +149,8 @@ class TestAtomicity:
         path = tmp_path / "atomic.npz"
         save_checkpoint(path, lik, 1, 1, logl)
         assert path.exists()
-        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        leftovers = [p for p in sorted(tmp_path.iterdir())
+                     if p.suffix == ".tmp"]
         assert leftovers == []
 
     def test_bare_path_gets_npz_suffix(self, optimized, tmp_path):

@@ -252,9 +252,11 @@ def _shrink_probe(comm, payload):
     try:
         comm.allreduce(np.ones(3), ReduceOp.SUM, tag="probe")
     except RankFailureError as exc:
-        agreed = comm.agree(exc.failed_ranks)
-        new = comm.shrink(agreed)
-        total = new.allreduce(np.array([float(new.rank)]), ReduceOp.SUM,
+        # every survivor sees the same RankFailureError (failure detection
+        # is itself collective), so the handler path is replica-consistent
+        agreed = comm.agree(exc.failed_ranks)  # replicheck: ignore[R003] -- deliberate ULFM recovery probe: agree is the consensus step itself
+        new = comm.shrink(agreed)  # replicheck: ignore[R003] -- every survivor reaches shrink after agreeing on the failed set
+        total = new.allreduce(np.array([float(new.rank)]), ReduceOp.SUM,  # replicheck: ignore[R003] -- post-shrink collective on the agreed survivor mesh
                               tag="post-shrink")
         return {
             "agreed": sorted(agreed),

@@ -40,8 +40,11 @@ def from_snippet(code: str):
 
 
 class TestRuleCatalog:
-    def test_all_five_rules_documented(self):
-        assert sorted(RULES) == ["R001", "R002", "R003", "R004", "R005"]
+    def test_full_catalog_documented(self):
+        assert sorted(RULES) == [
+            "R001", "R002", "R003", "R004", "R005", "R006",
+            "R007", "R008", "R009", "R010", "R011",
+        ]
 
     @pytest.mark.parametrize("rule", sorted(RULES))
     def test_bad_fixture_flags_only_its_rule(self, rule):

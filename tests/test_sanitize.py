@@ -114,6 +114,7 @@ def _diverge_tag(comm, _):
 def _diverge_verb(comm, _):
     comm = SanitizingComm(comm)
     comm.allreduce(1.0, tag="a")
+    # replicheck: ignore[R003] -- this IS the bad pattern: the sanitizer under test must detect the verb mismatch
     if comm.rank == 0:
         comm.allreduce(2.0, tag="a")
     else:
