@@ -669,6 +669,168 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hotspots(args: argparse.Namespace) -> int:
+    """Kernel-level hotspots: ranked per-op table, roofline, CLV memory."""
+    import time
+
+    from repro.obs.export import merge_rank_streams
+    from repro.obs.hotspots import build_hotspot_report
+    from repro.par.machine import HITS_CLUSTER
+
+    if args.from_trace is None and args.alignment is None:
+        print("hotspots needs an alignment (live mode) or --from-trace",
+              file=sys.stderr)
+        return 2
+
+    if args.from_trace is not None:
+        # Offline: re-analyze an existing trace directory.  No workload
+        # is available, so CLV memory is reported but not reconciled.
+        trace_dir = Path(args.from_trace)
+        paths = sorted(trace_dir.rglob("trace-rank*.jsonl"))
+        if not paths:
+            print(f"no trace-rank*.jsonl under {trace_dir}", file=sys.stderr)
+            return 2
+        merged = merge_rank_streams(paths)
+        report = build_hotspot_report(merged, machine=HITS_CLUSTER)
+        problems = report.check(check_memory=False)
+        print(report.format_markdown(top=args.top))
+        return _finish_hotspots(args, {"offline": report}, problems,
+                                trace_root=trace_dir)
+
+    from repro.engines.launch import run_decentralized, run_forkjoin
+    from repro.likelihood.partitioned import PartitionedLikelihood
+    from repro.obs.export import rank_trace_path
+    from repro.search.search import SearchConfig
+    from repro.seq.partitions import read_partition_file
+    from repro.tree.newick import write_newick
+    from repro.tree.random_trees import random_topology
+
+    alignment = _load_alignment(args.alignment)
+    scheme = read_partition_file(args.partitions) if args.partitions else None
+    tree = random_topology(alignment.taxa, rng=args.seed)
+    config = SearchConfig(max_iterations=args.iterations,
+                          radius_max=args.radius)
+    engines = (["decentralized", "forkjoin"] if args.engine == "both"
+               else [args.engine])
+    trace_root = Path(args.trace_out)
+    reports: dict = {}
+    problems: list[str] = []
+
+    for engine in engines:
+        # fresh likelihood per engine: the search mutates model state
+        lik = PartitionedLikelihood.build(
+            alignment, tree, scheme=scheme, rate_mode=args.model,
+            per_partition_branches=args.per_partition_branches,
+        )
+        newick = write_newick(tree)
+        trace_dir = trace_root / engine
+        # replicheck: ignore[R004] -- driver-side wall-clock benchmarking in the CLI process, outside any replica
+        t0 = time.perf_counter()
+        if engine == "decentralized":
+            run_decentralized(
+                lik.parts, lik.taxa, newick, n_ranks=args.ranks,
+                config=config, dist_kind=args.dist,
+                n_branch_sets=lik.n_branch_sets, trace_dir=trace_dir,
+            )
+        else:
+            run_forkjoin(
+                lik.parts, lik.taxa, newick, n_ranks=args.ranks,
+                config=config, dist_kind=args.dist,
+                n_branch_sets=lik.n_branch_sets, trace_dir=trace_dir,
+            )
+        # replicheck: ignore[R004] -- driver-side wall-clock benchmarking in the CLI process, outside any replica
+        wall_s = time.perf_counter() - t0
+
+        rank_paths = [rank_trace_path(trace_dir, r)
+                      for r in range(args.ranks)]
+        merged = merge_rank_streams([p for p in rank_paths if p.exists()])
+
+        # Analytic raw CLV bytes across the whole run (all ranks' shares
+        # together are the full pattern set): (n_taxa−2) inner-node CLVs
+        # × Σ_p patterns·cats·states·8.  The profiled cache keys CLVs by
+        # directed edge, so the live/model ratio has a documented band
+        # rather than an exact target (see docs/OBSERVABILITY.md).  The
+        # model's virtual units only match real allocations when the
+        # workload is unscaled (pattern_scale == 1), which holds here.
+        modeled_clv = (len(lik.taxa) - 2) * sum(
+            p.n_patterns * p.n_cats * p.model.n_states * 8.0
+            for p in lik.parts
+        )
+        report = build_hotspot_report(
+            merged, machine=HITS_CLUSTER,
+            modeled_clv_bytes=modeled_clv,
+        )
+        # fork-join worker stores are tree-agnostic (never collected), so
+        # only the decentralized engine is gated on the CLV memory band
+        engine_problems = report.check(
+            check_memory=(engine == "decentralized"))
+        problems.extend(f"[{engine}] {p}" for p in engine_problems)
+        reports[engine] = report
+        print(f"[{engine}] {args.ranks} ranks, {wall_s:.2f}s wall, "
+              f"{len(merged)} merged span(s)", file=sys.stderr)
+        print(report.format_markdown(top=args.top))
+        print()
+
+    return _finish_hotspots(args, reports, problems, trace_root=trace_root)
+
+
+def _finish_hotspots(args: argparse.Namespace, reports: dict,
+                     problems: list[str], trace_root: Path) -> int:
+    """Shared tail of `repro hotspots`: artifacts, registry, verdict."""
+    import json
+
+    bench: dict = {
+        "kind": "kernel_hotspots",
+        "alignment": str(args.alignment) if args.alignment else None,
+        "ranks": args.ranks,
+        "iterations": args.iterations,
+        "engines": {},
+        "metrics": {},
+    }
+    for engine, report in reports.items():
+        record = report.to_bench(engine=engine)
+        bench["engines"][engine] = record["report"]
+        bench["metrics"].update(record["metrics"])
+
+    if args.report_out:
+        md = "\n\n".join(r.format_markdown(top=args.top)
+                         for r in reports.values())
+        Path(args.report_out).write_text(md + "\n")
+        print(f"markdown report written to {args.report_out}",
+              file=sys.stderr)
+    if args.json_out:
+        payload = {e: r.to_dict() for e, r in reports.items()}
+        Path(args.json_out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"JSON report written to {args.json_out}", file=sys.stderr)
+    if args.bench_out:
+        Path(args.bench_out).write_text(json.dumps(bench, indent=2) + "\n")
+        print(f"bench record written to {args.bench_out}", file=sys.stderr)
+    if not args.no_register and args.from_trace is None:
+        from repro.obs.registry import RunRegistry
+
+        registry = RunRegistry()
+        run_id = registry.register({
+            "command": "hotspots",
+            "engine": args.engine,
+            "ranks": args.ranks,
+            "dist": args.dist,
+            "seed": args.seed,
+            "alignment": str(args.alignment),
+            "config": {"iterations": args.iterations,
+                       "radius": args.radius, "model": args.model},
+            "status": "completed",
+            "trace_dir": str(trace_root),
+        })
+        registry.record_bench(run_id, bench)
+        print(f"run {run_id} registered with bench snapshot under "
+              f"{registry.root}", file=sys.stderr)
+    if problems:
+        for problem in problems:
+            print(f"hotspots check failed: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_scale(args: argparse.Namespace) -> int:
     """Measured scaling: live runs across rank counts, analyzed + gated."""
     import json
@@ -916,7 +1078,7 @@ def _cmd_runs(args: argparse.Namespace) -> int:
             return 0
         header = (f"{'run id':<24} {'created':<20} {'cmd':<8} "
                   f"{'engine':<14} {'ranks':>5} {'status':<10} "
-                  f"{'logL':>14} {'bench':>5}")
+                  f"{'logL':>14} {'bench':>5} {'trace':<8}")
         print(header)
         print("-" * len(header))
         for m in manifests:
@@ -924,20 +1086,31 @@ def _cmd_runs(args: argparse.Namespace) -> int:
             logl = result.get("logl")
             logl_s = f"{logl:.4f}" if isinstance(logl, (int, float)) else "-"
             has_bench = "yes" if m.get("bench_path") else "-"
+            trace_s = (m.get("trace_id") or "-")[:8]
             print(f"{m.get('run_id', '?'):<24} "
                   f"{m.get('created', '?'):<20} "
                   f"{m.get('command', '?'):<8} "
                   f"{m.get('engine', '?'):<14} "
                   f"{m.get('ranks', '?'):>5} "
                   f"{m.get('status', '?'):<10} "
-                  f"{logl_s:>14} {has_bench:>5}")
+                  f"{logl_s:>14} {has_bench:>5} {trace_s:<8}")
         return 0
     if args.runs_command == "show":
         try:
-            manifest = registry.load(registry.resolve(args.run))
+            run_id = registry.resolve(args.run)
+            manifest = registry.load(run_id)
         except FileNotFoundError as exc:
             raise SystemExit(str(exc)) from exc
         print(json.dumps(manifest, indent=2))
+        trace_id = manifest.get("trace_id")
+        if trace_id:
+            # the lifecycle identity stamped at submission: joins this
+            # run to its merged daemon + per-rank trace streams
+            print()
+            print(f"trace_id: {trace_id}")
+            print(f"merged trace: python -c \"from repro.obs import "
+                  f"merge_job_trace; merge_job_trace("
+                  f"'{registry.root / run_id}')\"")
         chain = format_attempt_chain(manifest)
         if chain:
             print()
@@ -1423,6 +1596,56 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip writing a manifest (and the bench "
                            "snapshot) to the run registry")
     prof.set_defaults(func=_cmd_profile)
+
+    hot = sub.add_parser(
+        "hotspots",
+        help="kernel-level compute profile: ranked per-op table with "
+             "time share, achieved vs modeled GFLOP/s, arithmetic "
+             "intensity / roofline placement and CLV memory attribution")
+    hot.add_argument("alignment", nargs="?", default=None,
+                     help="FASTA/PHYLIP/binary alignment (omit with "
+                          "--from-trace)")
+    hot.add_argument("--from-trace", metavar="DIR", default=None,
+                     help="re-analyze an existing trace directory "
+                          "instead of running live (no memory "
+                          "reconciliation, no registry entry)")
+    hot.add_argument("-q", "--partitions",
+                     help="RAxML-style partition file")
+    hot.add_argument("-m", "--model", choices=["gamma", "psr", "none"],
+                     default="gamma")
+    hot.add_argument("-M", dest="per_partition_branches",
+                     action="store_true")
+    hot.add_argument("-n", "--iterations", type=int, default=1)
+    hot.add_argument("-r", "--radius", type=int, default=2)
+    hot.add_argument("-s", "--seed", type=int, default=42)
+    hot.add_argument("--engine",
+                     choices=["decentralized", "forkjoin", "both"],
+                     default="decentralized",
+                     help="which engine(s) to profile (default "
+                          "decentralized — the only one gated on the "
+                          "CLV memory band)")
+    hot.add_argument("--ranks", type=int, default=2,
+                     help="process count (default 2)")
+    hot.add_argument("--dist", choices=["cyclic", "mps"],
+                     default="cyclic")
+    hot.add_argument("--trace-out", default="trace_hotspots",
+                     metavar="DIR",
+                     help="directory for per-rank JSONL traces (one "
+                          "subdir per engine; default ./trace_hotspots)")
+    hot.add_argument("--top", type=int, default=None, metavar="N",
+                     help="show only the N hottest ops")
+    hot.add_argument("--report-out", metavar="PATH",
+                     help="write the markdown kernel table here")
+    hot.add_argument("--json-out", metavar="PATH",
+                     help="write the full report as JSON here")
+    hot.add_argument("--bench-out", metavar="PATH",
+                     help="write a BENCH_kernels-style record here "
+                          "(kind kernel_hotspots, flat higher-is-worse "
+                          "metrics for `repro regress`)")
+    hot.add_argument("--no-register", action="store_true",
+                     help="skip writing a manifest (and the bench "
+                          "snapshot) to the run registry")
+    hot.set_defaults(func=_cmd_hotspots)
 
     scale = sub.add_parser(
         "scale",

@@ -347,6 +347,7 @@ def forkjoin_worker(
     tracer=None,
     metrics=None,
     progress=None,
+    profiler=None,
 ) -> None:
     """Worker loop: execute master commands on local data until STOP.
 
@@ -357,6 +358,9 @@ def forkjoin_worker(
     With a ``progress`` reporter, the worker's heartbeat state counts
     executed commands (as ``iteration``) so the live monitor can tell a
     worker that stopped draining commands from one that never got any.
+    With a ``profiler`` (:class:`~repro.obs.hotspots.OpProfiler`), per-op
+    kernel totals accumulate and flush as summary spans when the loop
+    exits (STOP or error).
     """
     from repro.engines.executor import DescriptorExecutor
     from repro.model.rates import PerSiteRates as _PSR
@@ -364,7 +368,8 @@ def forkjoin_worker(
     if tracer is not None and tracer.enabled:
         from repro.obs.instrument import TracedExecutor
 
-        executor = TracedExecutor(parts, node_taxon, tracer, metrics)
+        executor = TracedExecutor(parts, node_taxon, tracer, metrics,
+                                  profiler=profiler)
     else:
         executor = DescriptorExecutor(parts, node_taxon)
     if progress is None:
@@ -378,64 +383,74 @@ def forkjoin_worker(
     psr_tables: dict[int, list[np.ndarray]] = {}
     n_commands = 0
 
-    while True:
-        msg = comm.bcast(None, root=0, tag="command")
-        cmd = msg[0]
-        n_commands += 1
-        if n_commands % 64 == 0:
-            # cheap liveness signal: two attribute writes per 64 commands
-            progress.status(iteration=n_commands)
-        if cmd == _CMD_STOP:
-            progress.status(iteration=n_commands)
-            return
-        if cmd in (_CMD_EVALUATE, _CMD_BRANCH_SETUP, _CMD_TRAVERSE):
-            _, wire, u_id, v_id, t_root = msg
-            executor.run_ops(wire)
-            root_edge = (u_id, v_id)
-            if cmd == _CMD_EVALUATE:
-                per_part, _ = executor.evaluate(u_id, v_id, t_root)
-                comm.reduce(per_part, ReduceOp.SUM, root=0, tag=CAT_LIKELIHOOD)
-            elif cmd == _CMD_BRANCH_SETUP:
-                handle = executor.sumtables(u_id, v_id)
-                comm.barrier(tag=CAT_TRAVERSAL)
-            else:  # plain traverse: inside a PSR scan, collect site logls
-                _, site_lhs = executor.evaluate(u_id, v_id, t_root)
-                for i, part in enumerate(parts):
+    try:
+        while True:
+            msg = comm.bcast(None, root=0, tag="command")
+            cmd = msg[0]
+            n_commands += 1
+            if n_commands % 64 == 0:
+                # cheap liveness signal: two attribute writes per 64 commands
+                progress.status(iteration=n_commands)
+            if cmd == _CMD_STOP:
+                progress.status(iteration=n_commands)
+                return
+            if cmd in (_CMD_EVALUATE, _CMD_BRANCH_SETUP, _CMD_TRAVERSE):
+                _, wire, u_id, v_id, t_root = msg
+                executor.run_ops(wire)
+                root_edge = (u_id, v_id)
+                if cmd == _CMD_EVALUATE:
+                    per_part, _ = executor.evaluate(u_id, v_id, t_root)
+                    comm.reduce(per_part, ReduceOp.SUM, root=0,
+                                tag=CAT_LIKELIHOOD)
+                elif cmd == _CMD_BRANCH_SETUP:
+                    handle = executor.sumtables(u_id, v_id)
+                    comm.barrier(tag=CAT_TRAVERSAL)
+                else:  # plain traverse: inside a PSR scan, collect site logls
+                    _, site_lhs = executor.evaluate(u_id, v_id, t_root)
+                    for i, part in enumerate(parts):
+                        if isinstance(part.rate_het, _PSR):
+                            psr_tables.setdefault(i, []).append(site_lhs[i])
+            elif cmd == _CMD_DERIVATIVE:
+                if handle is None:
+                    raise CommError("derivative before branch setup")
+                local = executor.derivatives(handle, msg[1], n_branch_sets)
+                comm.reduce(local, ReduceOp.SUM, root=0, tag=CAT_BL_OPT)
+            elif cmd == _CMD_ALPHAS:
+                for p, alpha in sorted(msg[1].items()):
+                    parts[p].rate_het.alpha = alpha
+                    parts[p].bump_model()
+            elif cmd == _CMD_GTR:
+                for p, r in sorted(msg[1].items()):
+                    parts[p].model = parts[p].model.with_rates(
+                        np.asarray(r, float))
+                    parts[p].bump_model()
+            elif cmd == _CMD_PSR_SCAN:
+                rate = msg[1]
+                for part in parts:
                     if isinstance(part.rate_het, _PSR):
-                        psr_tables.setdefault(i, []).append(site_lhs[i])
-        elif cmd == _CMD_DERIVATIVE:
-            if handle is None:
-                raise CommError("derivative before branch setup")
-            local = executor.derivatives(handle, msg[1], n_branch_sets)
-            comm.reduce(local, ReduceOp.SUM, root=0, tag=CAT_BL_OPT)
-        elif cmd == _CMD_ALPHAS:
-            for p, alpha in sorted(msg[1].items()):
-                parts[p].rate_het.alpha = alpha
-                parts[p].bump_model()
-        elif cmd == _CMD_GTR:
-            for p, r in sorted(msg[1].items()):
-                parts[p].model = parts[p].model.with_rates(np.asarray(r, float))
-                parts[p].bump_model()
-        elif cmd == _CMD_PSR_SCAN:
-            rate = msg[1]
-            for part in parts:
-                if isinstance(part.rate_het, _PSR):
-                    part.rate_het.set_rates(np.full(part.n_patterns, rate))
-        elif cmd == _CMD_PSR_FINALIZE:
-            candidates = msg[1]
-            sums = np.zeros(2 * len(psr_tables))
-            chosen: dict[int, np.ndarray] = {}
-            for k, i in enumerate(sorted(psr_tables)):
-                rates_i = choose_psr_rates(candidates, np.vstack(psr_tables[i]))
-                chosen[i] = rates_i
-                w = parts[i].weights
-                sums[2 * k] = float(np.dot(w, rates_i))
-                sums[2 * k + 1] = float(w.sum())
-            comm.reduce(sums, ReduceOp.SUM, root=0, tag=CAT_MODEL)
-            factors = comm.bcast(None, root=0, tag=CAT_MODEL)
-            for k, i in enumerate(sorted(psr_tables)):
-                parts[i].rate_het.set_rates(chosen[i] / factors[k])
-                parts[i].bump_model()
-            psr_tables.clear()
-        else:
-            raise CommError(f"unknown fork-join command {cmd!r}")
+                        part.rate_het.set_rates(np.full(part.n_patterns, rate))
+            elif cmd == _CMD_PSR_FINALIZE:
+                candidates = msg[1]
+                sums = np.zeros(2 * len(psr_tables))
+                chosen: dict[int, np.ndarray] = {}
+                for k, i in enumerate(sorted(psr_tables)):
+                    rates_i = choose_psr_rates(
+                        candidates, np.vstack(psr_tables[i]))
+                    chosen[i] = rates_i
+                    w = parts[i].weights
+                    sums[2 * k] = float(np.dot(w, rates_i))
+                    sums[2 * k + 1] = float(w.sum())
+                comm.reduce(sums, ReduceOp.SUM, root=0, tag=CAT_MODEL)
+                factors = comm.bcast(None, root=0, tag=CAT_MODEL)
+                for k, i in enumerate(sorted(psr_tables)):
+                    parts[i].rate_het.set_rates(chosen[i] / factors[k])
+                    parts[i].bump_model()
+                psr_tables.clear()
+            else:
+                raise CommError(f"unknown fork-join command {cmd!r}")
+    finally:
+        if profiler is not None and profiler.enabled and tracer is not None:
+            from repro.obs.hotspots import emit_kernel_profile
+
+            emit_kernel_profile(profiler, tracer, metrics,
+                                clv_sources=(executor,))

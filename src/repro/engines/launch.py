@@ -194,21 +194,36 @@ def _install_cancel_handler(payload: dict[str, Any]) -> None:
 
 
 def _make_obs(payload: dict[str, Any], world_rank: int):
-    """Build (tracer, metrics) for one rank; the null tracer (and no
-    metrics, and — crucially — no comm wrapper) when tracing is off.
+    """Build (tracer, metrics, profiler) for one rank; the null tracer
+    (no metrics, no profiler, and — crucially — no comm wrapper) when
+    tracing is off.
 
     The launch's ``trace_id`` (an end-to-end lifecycle identity minted
     by e.g. the serve daemon) rides on the tracer so the flushed stream
-    merges with the daemon's service spans under one id."""
+    merges with the daemon's service spans under one id.  The op
+    profiler accumulates per-kernel-op totals that flush as summary
+    spans into the same stream."""
     if not payload.get("trace_dir"):
-        return NULL_TRACER, None
+        return NULL_TRACER, None, None
+    from repro.obs.hotspots import OpProfiler
     from repro.obs.metrics import MetricsRegistry
 
     capacity = payload.get("trace_capacity")
     trace_id = payload.get("trace_id") or ""
     tracer = (Tracer(rank=world_rank, capacity=capacity, trace_id=trace_id)
               if capacity else Tracer(rank=world_rank, trace_id=trace_id))
-    return tracer, MetricsRegistry()
+    return tracer, MetricsRegistry(), OpProfiler()
+
+
+def _emit_profile(profiler, tracer, metrics, source) -> None:
+    """Flush a rank's kernel profile (plus its CLV owner's memory
+    accounting) into the trace stream before ``_flush_trace`` runs."""
+    if profiler is None or not tracer.enabled:
+        return
+    from repro.obs.hotspots import emit_kernel_profile
+
+    emit_kernel_profile(profiler, tracer, metrics,
+                        clv_sources=() if source is None else (source,))
 
 
 def _wrap_tracing(comm: Comm, tracer, metrics) -> Comm:
@@ -259,7 +274,7 @@ def _obs_snapshot(metrics, tracer) -> dict[str, Any]:
 def _decentral_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult:
     world0 = comm.rank  # original world rank: names the trace stream
     _install_cancel_handler(payload)
-    tracer, metrics = _make_obs(payload, world0)
+    tracer, metrics, profiler = _make_obs(payload, world0)
     comm, hb_writer, progress = _make_telemetry(
         _maybe_sanitize(comm, payload), payload, world0)
     comm = _wrap_tracing(_maybe_inject(comm, payload), tracer, metrics)
@@ -268,6 +283,8 @@ def _decentral_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult:
         payload["parts"], comm.rank, comm.size, payload["dist_kind"]
     )
     lik = PartitionedLikelihood(tree, local_parts, payload["taxa"])
+    if profiler is not None:
+        lik.profiler = profiler
     resume_from = payload.get("resume_from")
     if resume_from:
         # Supervised restart: every replica restores the identical
@@ -330,6 +347,9 @@ def _decentral_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult:
                 comm = backend.comm
                 backend.tracer = tracer
                 backend.progress = progress
+                if profiler is not None:
+                    # recovery rebuilt the likelihood around the new share
+                    backend.lik.profiler = profiler
                 _arm_cancellation(backend, payload)
                 recoveries += 1
                 if metrics is not None:
@@ -354,6 +374,7 @@ def _decentral_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult:
                 progress.status(phase="resume", recoveries=recoveries)
         ok = True
     finally:
+        _emit_profile(profiler, tracer, metrics, backend.lik)
         trace_path = _flush_trace(tracer, payload, world0)
         _close_telemetry(hb_writer, progress, ok)
 
@@ -465,7 +486,7 @@ def run_decentralized(
 def _forkjoin_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult | None:
     world0 = comm.rank
     _install_cancel_handler(payload)
-    tracer, metrics = _make_obs(payload, world0)
+    tracer, metrics, profiler = _make_obs(payload, world0)
     comm, hb_writer, progress = _make_telemetry(comm, payload, world0)
     comm = _wrap_tracing(_maybe_inject(comm, payload), tracer, metrics)
     local_parts = split_local_data(
@@ -474,6 +495,7 @@ def _forkjoin_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult | N
     # Flush in a finally: a RankFailureError unwinding a collective must
     # still leave this rank's trace (with the error-flagged span) on disk.
     ok = False
+    lik = None  # the master's full-copy likelihood (workers keep None)
     try:
         resume_from = payload.get("resume_from")
         progress.event("run_start", engine="forkjoin", ranks=comm.size,
@@ -481,6 +503,8 @@ def _forkjoin_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult | N
         if comm.rank == 0:
             tree = _rebuild_tree(payload["newick"], payload["n_branch_sets"])
             lik = PartitionedLikelihood(tree, local_parts, payload["taxa"])
+            if profiler is not None:
+                lik.profiler = profiler
             backend = ForkJoinMasterBackend(comm, lik)
             backend.tracer = tracer
             backend.progress = progress
@@ -545,11 +569,15 @@ def _forkjoin_rank(comm: Comm, payload: dict[str, Any]) -> DistributedResult | N
         forkjoin_worker(
             comm, local_parts, node_taxon,
             payload["n_branch_sets"], tracer=tracer, metrics=metrics,
-            progress=progress,
+            progress=progress, profiler=profiler,
         )
         ok = True
         return None
     finally:
+        # Workers emit their profile inside forkjoin_worker (they own the
+        # executor); the master emits here for its reduction-side kernels.
+        if lik is not None:
+            _emit_profile(profiler, tracer, metrics, lik)
         _flush_trace(tracer, payload, world0)
         _close_telemetry(hb_writer, progress, ok)
 

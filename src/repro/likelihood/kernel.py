@@ -39,6 +39,8 @@ __all__ = [
     "evaluate_edge",
     "sumtable",
     "derivatives_from_sumtable",
+    "flops_per_unit",
+    "bytes_per_unit",
 ]
 
 #: When a pattern's CLV maximum falls below this, it is rescaled to 1.
@@ -230,3 +232,87 @@ def derivatives_from_sumtable(
     dlnl = float(np.dot(weights, ratio1))
     d2lnl = float(np.dot(weights, ratio2 - ratio1 * ratio1))
     return logl, dlnl, d2lnl
+
+
+# --------------------------------------------------------------------- #
+# analytic per-unit operation counts
+# --------------------------------------------------------------------- #
+#
+# The work unit is one pattern·category — the same virtual-pattern unit
+# the work ledger and the cost model charge in — except for ``pmatrix``,
+# whose work is independent of the pattern count under category rates:
+# its unit is one transition *matrix*.  FLOPs are counted straight off
+# the einsums above for ``n = n_states``:
+#
+# newview:    two ``_apply`` contractions ("cxy,pcy->pcx": n mul + n−1
+#             add per output state, n outputs → 2·(2n−1)·n = 4n²−2n),
+#             the elementwise product (n), and the rescale scan
+#             (max + compare ≈ n + 2n per unit) → 4n² + 3n.
+# evaluate:   one ``_apply`` (2n²−n), the "pcx,pcx,x->pc" triple
+#             product (3n−1 per unit), the category mix + floor + log +
+#             weighted-sum tail (≈ n + 5 spread per unit) → 2n² + 3n + 4.
+# sumtable:   two ztransforms (eigen-basis change, each 2n²−n per unit)
+#             and the product (n) → 4n² + n.
+# derivative: exp(lr·t) amortized over patterns is negligible; f/f1/f2
+#             contractions "pck,ck->pc" cost 2n−1, 3n−1, 4n−1; category
+#             mix + ratios + dots ≈ 7 → 9n + 6.
+# pmatrix:    eigen reconstruction U·diag(e^{λrt})·U⁻¹ per matrix:
+#             n³ mul + n²·(n−1) add + n² scale + n exp → 2n³ + n² + n.
+# psr_scan:   a PSR rescan is a newview-shaped sweep (the cost model
+#             prices it identically).
+#
+# Bytes are first-order compulsory streaming traffic in float64: the
+# arrays each unit must read and write assuming nothing stays in cache
+# across patterns (P matrices and eigenvectors *do* stay resident — they
+# are O(n²) per partition — so they are charged only to ``pmatrix``).
+#
+# newview:    read two child states + write parent (3n) + scaler
+#             read-modify-write amortized (2 per unit) → (3n + 2)·8.
+# evaluate:   read both CLVs + frequencies-weighted reduce + site
+#             output (≈ 3n + 1) → (3n + 1)·8.
+# sumtable:   read two CLVs + write table → 3n·8.
+# derivative: read table slice + site outputs → (n + 1)·8.
+# pmatrix:    write one n×n matrix + read U, U⁻¹ → 3n²·8 per matrix.
+#
+# For DNA under Γ (n = 4) newview lands at 76 FLOP / 112 B ≈ 0.7 FLOP/B
+# — far left of any CPU's ridge point, which is the quantitative form of
+# the paper's Section V observation that likelihood computation is
+# memory bandwidth bound.
+
+_FLOPS_PER_UNIT = {
+    "newview": lambda n: 4 * n * n + 3 * n,
+    "evaluate": lambda n: 2 * n * n + 3 * n + 4,
+    "sumtable": lambda n: 4 * n * n + n,
+    "derivative": lambda n: 9 * n + 6,
+    "pmatrix": lambda n: 2 * n * n * n + n * n + n,
+    "psr_scan": lambda n: 4 * n * n + 3 * n,
+}
+
+_BYTES_PER_UNIT = {
+    "newview": lambda n: (3 * n + 2) * 8,
+    "evaluate": lambda n: (3 * n + 1) * 8,
+    "sumtable": lambda n: 3 * n * 8,
+    "derivative": lambda n: (n + 1) * 8,
+    "pmatrix": lambda n: 3 * n * n * 8,
+    "psr_scan": lambda n: (3 * n + 2) * 8,
+}
+
+
+def flops_per_unit(op: str, n_states: int = 4) -> float:
+    """Floating point operations per work unit of kernel op ``op``.
+
+    The unit is one pattern·category for CLV-shaped ops and one
+    transition matrix for ``pmatrix`` (see the derivation above).
+    """
+    try:
+        return float(_FLOPS_PER_UNIT[op](n_states))
+    except KeyError:
+        raise LikelihoodError(f"unknown kernel op {op!r}") from None
+
+
+def bytes_per_unit(op: str, n_states: int = 4) -> float:
+    """First-order compulsory memory traffic (bytes) per work unit."""
+    try:
+        return float(_BYTES_PER_UNIT[op](n_states))
+    except KeyError:
+        raise LikelihoodError(f"unknown kernel op {op!r}") from None

@@ -210,14 +210,23 @@ class PartitionedLikelihood:
                     f"partition {part.name!r} wants branch set {part.branch_set} "
                     f"but tree has {tree.n_branch_sets}"
                 )
+        # Lazy import: repro.obs.hotspots initializes the repro.obs
+        # package, parts of which import back into likelihood/engines.
+        from repro.obs.hotspots import NULL_OP_PROFILER
+
         self.tree = tree
         self.parts = parts
         self.taxa = list(taxa)
         self.taxon_row = {label: i for i, label in enumerate(taxa)}
         self.ledger = ledger if ledger is not None else WorkLedger()
+        self.profiler = NULL_OP_PROFILER
         self._cache: list[dict[tuple[int, int], _Entry]] = [{} for _ in parts]
         self._memo: list[dict[tuple[int, int], bool]] = [{} for _ in parts]
         self._memo_counter = -1
+        self._clv_bytes = [0] * len(parts)
+        self._clv_peak = [0] * len(parts)
+        self._clv_evictions = [0] * len(parts)
+        self._clv_evicted_bytes = [0] * len(parts)
         missing = [
             leaf.label for leaf in tree.leaves() if leaf.label not in self.taxon_row
         ]
@@ -366,9 +375,27 @@ class PartitionedLikelihood:
         for p, cache in enumerate(self._cache):
             dead = [k for k in cache if not self._is_valid(p, k)]
             for k in dead:
-                del cache[k]
+                entry = cache.pop(k)
+                nbytes = entry.clv.nbytes + entry.scale.nbytes
+                self._clv_bytes[p] -= nbytes
+                self._clv_evicted_bytes[p] += nbytes
+            self._clv_evictions[p] += len(dead)
             evicted += len(dead)
         return evicted
+
+    def clv_stats(self) -> list[dict[str, int]]:
+        """Per-partition CLV cache accounting (for profile emission)."""
+        return [
+            {
+                "partition": p,
+                "entries": len(self._cache[p]),
+                "live_bytes": self._clv_bytes[p],
+                "peak_bytes": self._clv_peak[p],
+                "evictions": self._clv_evictions[p],
+                "evicted_bytes": self._clv_evicted_bytes[p],
+            }
+            for p in range(self.n_partitions)
+        ]
 
     # ------------------------------------------------------------------ #
     # CLV computation
@@ -406,20 +433,39 @@ class PartitionedLikelihood:
         tree = self.tree
         cache = self._cache[p]
         memo = self._memo[p]
+        prof = self.profiler
+        unit = part.cost_patterns * part.n_cats
+        n_states = part.model.n_states
+        live = self._clv_bytes[p]
+        peak = self._clv_peak[p]
         for op in desc.ops:
             node = tree.node(op.node)
             a = tree.node(op.child_a)
             b = tree.node(op.child_b)
             ta = self._branch_length(part, node, a)
             tb = self._branch_length(part, node, b)
+            t0 = prof.begin()
             p_a = kernel.pmatrices(eigen, ta, rates)
             p_b = kernel.pmatrices(eigen, tb, rates)
+            prof.end(t0, "pmatrix", p, 2 * len(rates), count=2,
+                     alloc=p_a.nbytes + p_b.nbytes,
+                     n_states=n_states, site_specific=part.site_specific)
             clv_a, scale_a = self._side_clv(p, a, node)
             clv_b, scale_b = self._side_clv(p, b, node)
+            t0 = prof.begin()
             clv, scale = kernel.newview(
                 p_a, clv_a, scale_a, p_b, clv_b, scale_b,
                 site_specific=part.site_specific,
             )
+            prof.end(t0, "newview", p, unit,
+                     alloc=clv.nbytes + scale.nbytes,
+                     n_states=n_states, site_specific=part.site_specific)
+            old = cache.get((op.node, op.toward))
+            if old is not None:
+                live -= old.clv.nbytes + old.scale.nbytes
+            live += clv.nbytes + scale.nbytes
+            if live > peak:
+                peak = live
             cache[(op.node, op.toward)] = _Entry(
                 clv=clv,
                 scale=scale,
@@ -430,6 +476,8 @@ class PartitionedLikelihood:
                 model_ver=part.model_version,
             )
             memo[(op.node, op.toward)] = True
+        self._clv_bytes[p] = live
+        self._clv_peak[p] = peak
         if desc.ops:
             self.ledger.charge(
                 ComputeItem(
@@ -466,10 +514,16 @@ class PartitionedLikelihood:
         part = self.parts[p]
         eigen = part.model.eigen()
         rates, cat_w = part.category_rates()
+        prof = self.profiler
         t = self._branch_length(part, u, v)
+        t0 = prof.begin()
         p_root = kernel.pmatrices(eigen, t, rates)
+        prof.end(t0, "pmatrix", p, len(rates), alloc=p_root.nbytes,
+                 n_states=part.model.n_states,
+                 site_specific=part.site_specific)
         clv_i, scale_i = self._side_clv(p, u, v)
         clv_j, scale_j = self._side_clv(p, v, u)
+        t0 = prof.begin()
         total, log_site = kernel.evaluate_edge(
             p_root,
             clv_i,
@@ -481,6 +535,9 @@ class PartitionedLikelihood:
             part.weights,
             site_specific=part.site_specific,
         )
+        prof.end(t0, "evaluate", p, part.cost_patterns * part.n_cats,
+                 n_states=part.model.n_states,
+                 site_specific=part.site_specific)
         self.ledger.charge(
             ComputeItem(
                 op=OpKind.EVALUATE,
@@ -510,12 +567,18 @@ class PartitionedLikelihood:
         """
         self.ensure_clvs(u, v)
         sumtables = []
+        prof = self.profiler
         for p in range(self.n_partitions):
             part = self.parts[p]
             eigen = part.model.eigen()
             clv_i, _ = self._side_clv(p, u, v)
             clv_j, _ = self._side_clv(p, v, u)
-            sumtables.append(kernel.sumtable(eigen, clv_i, clv_j))
+            t0 = prof.begin()
+            table = kernel.sumtable(eigen, clv_i, clv_j)
+            prof.end(t0, "sumtable", p, part.cost_patterns * part.n_cats,
+                     alloc=table.nbytes, n_states=part.model.n_states,
+                     site_specific=part.site_specific)
+            sumtables.append(table)
             self.ledger.charge(
                 ComputeItem(
                     op=OpKind.SUMTABLE,
@@ -541,10 +604,12 @@ class PartitionedLikelihood:
             )
         d1 = np.empty(self.n_partitions)
         d2 = np.empty(self.n_partitions)
+        prof = self.profiler
         for p in range(self.n_partitions):
             part = self.parts[p]
             eigen = part.model.eigen()
             rates, cat_w = part.category_rates()
+            t0 = prof.begin()
             _, dl, d2l = kernel.derivatives_from_sumtable(
                 eigen,
                 ws.sumtables[p],
@@ -553,6 +618,9 @@ class PartitionedLikelihood:
                 cat_w,
                 part.weights,
             )
+            prof.end(t0, "derivative", p, part.cost_patterns * part.n_cats,
+                     n_states=part.model.n_states,
+                     site_specific=part.site_specific)
             d1[p] = dl
             d2[p] = d2l
             self.ledger.charge(

@@ -36,7 +36,11 @@ multiprocess runs and closes the loop:
   merged Chrome trace covers submit → queue → launch → iterations;
 * :mod:`repro.obs.slo` — offline service-level analytics (queue-wait /
   turnaround percentiles, utilization, per-tenant fairness) from
-  registry manifests alone, behind ``repro slo``.
+  registry manifests alone, behind ``repro slo``;
+* :mod:`repro.obs.hotspots` — kernel-level compute observability: the
+  per-op :class:`OpProfiler` (wall time, invocations, work units and
+  CLV memory per kernel op × partition), analytic FLOP/byte accounting
+  and roofline placement, behind ``repro hotspots``.
 
 See ``docs/OBSERVABILITY.md`` for the workflow, and ``repro profile`` /
 ``repro scale`` / ``repro regress`` on the CLI for the one-command
@@ -79,6 +83,19 @@ from repro.obs.heartbeat import (
     heartbeat_path,
     read_heartbeat,
     read_heartbeats,
+)
+from repro.obs.hotspots import (
+    CLV_MEMORY_SPAN,
+    CLV_RATIO_MAX,
+    CLV_RATIO_MIN,
+    KERNEL_OP_SPAN,
+    NULL_OP_PROFILER,
+    HotspotReport,
+    NullOpProfiler,
+    OpProfiler,
+    OpStat,
+    build_hotspot_report,
+    emit_kernel_profile,
 )
 from repro.obs.instrument import TracedExecutor, TracingComm
 from repro.obs.metrics import (
@@ -173,6 +190,17 @@ __all__ = [
     "histogram_quantile",
     "TracingComm",
     "TracedExecutor",
+    "KERNEL_OP_SPAN",
+    "CLV_MEMORY_SPAN",
+    "CLV_RATIO_MIN",
+    "CLV_RATIO_MAX",
+    "OpProfiler",
+    "NullOpProfiler",
+    "NULL_OP_PROFILER",
+    "OpStat",
+    "HotspotReport",
+    "build_hotspot_report",
+    "emit_kernel_profile",
     "chrome_trace",
     "merge_job_trace",
     "merge_rank_streams",

@@ -90,14 +90,25 @@ def write_jsonl(spans: Iterable[Span | dict], path: str | Path) -> Path:
     return path
 
 
-def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
-    """Read one rank's JSONL stream back into span dicts."""
+def read_jsonl(path: str | Path, strict: bool = True) -> list[dict[str, Any]]:
+    """Read one rank's JSONL stream back into span dicts.
+
+    With ``strict=False`` a line that fails to parse is skipped instead
+    of raising — the signature of a writer killed mid-record (daemon
+    SIGKILL, disk-full truncation), where everything before the torn
+    trailing line is still valid.
+    """
     out = []
     with Path(path).open() as fh:
         for line in fh:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 out.append(json.loads(line))
+            except json.JSONDecodeError:
+                if strict:
+                    raise
     return out
 
 
@@ -105,11 +116,13 @@ def merge_rank_streams(paths: Iterable[str | Path]) -> list[dict[str, Any]]:
     """Merge per-rank JSONL streams into one start-time-ordered list.
 
     Ranks share a monotonic timebase, so a plain sort by ``t0_ns`` (rank
-    as tie-breaker) yields the true cross-rank interleaving.
+    as tie-breaker) yields the true cross-rank interleaving.  Torn
+    trailing records (a stream's writer died mid-write) are dropped
+    rather than failing the whole merge.
     """
     merged: list[dict[str, Any]] = []
     for path in paths:
-        merged.extend(read_jsonl(path))
+        merged.extend(read_jsonl(path, strict=False))
     merged.sort(key=lambda s: (s["t0_ns"], s["rank"]))
     return merged
 

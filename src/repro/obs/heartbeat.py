@@ -39,6 +39,11 @@ import time
 from pathlib import Path
 from typing import Any
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
 from repro.par.comm import Comm, ReduceOp
 
 __all__ = [
@@ -184,6 +189,11 @@ class HeartbeatWriter:
         record["seq"] = self.seq
         record["pid"] = os.getpid()
         record["beat_ns"] = time.perf_counter_ns()
+        if resource is not None:
+            # peak RSS of this rank process; ru_maxrss is KiB on Linux
+            # (bytes on macOS — consumers treat it as platform-units)
+            record["rss_peak_kb"] = resource.getrusage(
+                resource.RUSAGE_SELF).ru_maxrss
         tmp = self.path.with_name(self.path.name + f".tmp{os.getpid()}")
         tmp.write_text(json.dumps(record, separators=(",", ":")))
         os.replace(tmp, self.path)

@@ -164,17 +164,35 @@ class TracingComm(Comm):
 
 
 class TracedExecutor(DescriptorExecutor):
-    """Lock-step worker kernel with kernel-op spans and counters."""
+    """Lock-step worker kernel with kernel-op spans and counters.
+
+    ``profiler`` (an :class:`~repro.obs.hotspots.OpProfiler`) adds per-op
+    wall-time/FLOP accounting inside the batch spans; omitted, the
+    inherited null profiler keeps the per-op hooks free.
+    """
 
     def __init__(self, parts, node_taxon, tracer: Tracer,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 profiler=None) -> None:
         super().__init__(parts, node_taxon)
         self.tracer = tracer
         self.metrics = metrics
+        if profiler is not None:
+            self.profiler = profiler
 
     def _count(self, name: str, amount: float) -> None:
         if self.metrics is not None:
             self.metrics.counter(name).inc(amount)
+
+    def _on_evict(self, count: int, nbytes: int) -> None:
+        """Surface CLV evictions (cache-reuse baseline signal)."""
+        if self.metrics is not None:
+            self.metrics.counter("clv.evictions").inc(count)
+            # cumulative bytes freed so far (gauge: merge keeps the max)
+            self.metrics.gauge("clv.freed_bytes").set(
+                float(sum(self._clv_evicted_bytes)))
+        self.tracer.instant("clv_evict", kind=KIND_KERNEL,
+                            count=count, nbytes=nbytes)
 
     def run_ops(self, wire: list[tuple]) -> None:
         n_ops = len(wire)

@@ -87,6 +87,14 @@ class MachineSpec:
     sync_noise_s: float = 2.2e-4
     mem_overhead_factor: float = 2.5
     swap_slowdown: float = 9.0
+    #: Peak double-precision FLOP/s of one core (roofline ceiling).
+    #: Default: Opteron 6174 at 2.2 GHz × 4 DP FLOPs/cycle (SSE FMA-less
+    #: 2-wide mul+add) = 8.8 GFLOP/s.
+    peak_flops_per_core: float = 8.8e9
+    #: Sustained memory bandwidth available to one core when all cores
+    #: stream (roofline slope).  Default: ≈85 GB/s STREAM per
+    #: Magny-Cours node / 48 cores ≈ 1.8 GB/s.
+    mem_bandwidth_per_core_bps: float = 1.8e9
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1 or self.cores_per_node < 1:
@@ -115,6 +123,23 @@ class MachineSpec:
                 f"{n_ranks} ranks exceed {self.total_cores} cores of {self.name}"
             )
         return -(-n_ranks // self.cores_per_node)
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Arithmetic intensity (FLOP/B) where the roofline's bandwidth
+        slope meets the compute ceiling; kernels left of it are memory
+        bound on this machine."""
+        return self.peak_flops_per_core / self.mem_bandwidth_per_core_bps
+
+    def attainable_flops(self, intensity: float) -> float:
+        """Roofline ceiling (FLOP/s per core) at a given intensity:
+        ``min(peak, intensity × bandwidth)``."""
+        if intensity <= 0:
+            return 0.0
+        return min(
+            self.peak_flops_per_core,
+            intensity * self.mem_bandwidth_per_core_bps,
+        )
 
     def with_ram(self, ram_per_node_bytes: float) -> "MachineSpec":
         """Same machine with different per-node RAM (the paper's runs used

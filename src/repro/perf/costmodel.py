@@ -30,6 +30,9 @@ __all__ = [
     "rank_second_vectors",
     "memory_footprint_per_node",
     "swap_multiplier",
+    "modeled_flops",
+    "modeled_bytes",
+    "modeled_gflops",
 ]
 
 
@@ -119,6 +122,48 @@ def memory_footprint_per_node(
         hi = min(n_ranks, lo + machine.cores_per_node)
         node_bytes[node] = rank_bytes[lo:hi].sum()
     return node_bytes
+
+
+def _op_name(op: OpKind | str) -> str:
+    return op.value if isinstance(op, OpKind) else op
+
+
+def modeled_flops(op: OpKind | str, units: float, n_states: int = 4) -> float:
+    """Analytic FLOPs for ``units`` work units of kernel op ``op``.
+
+    Units follow the work-ledger convention (pattern·category; transition
+    matrices for ``pmatrix``), so feeding ``WorkLedger.pattern_ops`` or an
+    :class:`~repro.obs.hotspots.OpProfiler`'s accumulated units here gives
+    identical totals by construction.
+    """
+    from repro.likelihood.kernel import flops_per_unit
+
+    return flops_per_unit(_op_name(op), n_states) * units
+
+
+def modeled_bytes(op: OpKind | str, units: float, n_states: int = 4) -> float:
+    """Analytic first-order memory traffic (bytes) for ``units`` units."""
+    from repro.likelihood.kernel import bytes_per_unit
+
+    return bytes_per_unit(_op_name(op), n_states) * units
+
+
+def modeled_gflops(
+    machine: MachineSpec,
+    op: OpKind | str,
+    n_states: int = 4,
+    site_specific: bool = False,
+) -> float:
+    """GFLOP/s per core implied by the machine's ``op_cost_ns`` price for
+    ``op`` — the throughput the analytic runtime model assumes, to set
+    against measured throughput in a hotspot report."""
+    from repro.likelihood.kernel import flops_per_unit
+
+    name = _op_name(op)
+    ns = machine.op_cost_ns[OpKind(name)]
+    if site_specific:
+        ns *= machine.psr_site_factor
+    return flops_per_unit(name, n_states) / ns
 
 
 def swap_multiplier(

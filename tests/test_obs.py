@@ -14,6 +14,7 @@ import pytest
 
 from repro.obs.export import (
     chrome_trace,
+    merge_job_trace,
     merge_rank_streams,
     rank_trace_path,
     read_jsonl,
@@ -529,6 +530,54 @@ class TestExport:
     def test_empty_trace(self):
         assert chrome_trace([]) == {"traceEvents": [],
                                     "displayTimeUnit": "ms"}
+
+
+class TestTornStreams:
+    """Merge tolerance for writers killed mid-record.
+
+    A job's daemon stream may be absent (plain launches) or end in a
+    torn half-record (daemon SIGKILL, disk-full truncation); the merge
+    must keep every record written before the tear rather than failing
+    the whole trace.
+    """
+
+    def _rank_stream(self, tmp_path, rank=0):
+        path = tmp_path / "trace" / f"trace-rank{rank}.jsonl"
+        write_jsonl([
+            {"name": "a", "kind": "comm", "rank": rank,
+             "t0_ns": 10, "t1_ns": 20},
+            {"name": "b", "kind": "comm", "rank": rank,
+             "t0_ns": 30, "t1_ns": 40},
+        ], path)
+        return path
+
+    def test_merge_job_trace_without_daemon_stream(self, tmp_path):
+        self._rank_stream(tmp_path)
+        merged = merge_job_trace(tmp_path)
+        assert [r["name"] for r in merged] == ["a", "b"]
+
+    def test_merge_job_trace_with_torn_daemon_stream(self, tmp_path):
+        self._rank_stream(tmp_path)
+        good = json.dumps({"name": "queued", "kind": "service",
+                           "rank": -1, "t0_ns": 1, "t1_ns": 2})
+        (tmp_path / "trace-daemon.jsonl").write_text(
+            good + '\n{"name": "laun')  # writer died mid-record
+        merged = merge_job_trace(tmp_path)
+        assert [r["name"] for r in merged] == ["queued", "a", "b"]
+
+    def test_merge_drops_torn_trailing_rank_record(self, tmp_path):
+        path = self._rank_stream(tmp_path)
+        with path.open("a") as fh:
+            fh.write('{"name": "c", "kind": "comm", "rank": 0, "t0_ns"')
+        merged = merge_job_trace(tmp_path)
+        assert [r["name"] for r in merged] == ["a", "b"]
+
+    def test_read_jsonl_strict_modes(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"name": "a"}\n{"name": "b"\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path)
+        assert read_jsonl(path, strict=False) == [{"name": "a"}]
 
 
 # ---------------------------------------------------------------------- #
